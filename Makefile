@@ -1,0 +1,25 @@
+# Convenience targets for the RBAY reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples outputs clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .hypothesis build dist src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

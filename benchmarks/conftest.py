@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, then asserts the *shape* claims (who wins, rough factors,
+where curves flatten).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plane import RBay, RBayConfig
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+
+
+def build_dressed_plane(seed: int = 2017, nodes_per_site: int = 25,
+                        jitter: bool = True, **config_kwargs):
+    """An 8-site plane dressed in the paper's evaluation workload."""
+    plane = RBay(RBayConfig(seed=seed, nodes_per_site=nodes_per_site,
+                            jitter=jitter, **config_kwargs)).build()
+    workload = FederationWorkload(plane, WorkloadSpec(password="rbay")).apply()
+    plane.sim.run()
+    return plane, workload
+
+
+@pytest.fixture(scope="session")
+def dressed_plane():
+    """Session-scoped federation for the latency benchmarks (Figs 9-11)."""
+    return build_dressed_plane()
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 74)
+    print(title)
+    print("=" * 74)

@@ -1,0 +1,106 @@
+"""Ablation: administrative isolation on vs. off (paper §III-E).
+
+The paper gives two reasons for site convergence: "(1) security — so that
+updates and probes flowing in a site are not accessible outside the site,
+and (2) efficiency — so that site-scoped queries can be locally processed
+in parallel."
+
+Efficiency half: with isolation, a site-scoped tree's rendezvous stays
+inside the site (sub-millisecond RTTs); without it, SHA-1 places the root
+uniformly across the federation, so even a purely local query pays
+cross-site RTTs.  Security half: with isolation, zero messages for a
+site-scoped topic are ever delivered outside the site.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner
+from repro.core.plane import RBay, RBayConfig
+from repro.metrics.stats import format_table, mean, percentile
+
+QUERIES = 40
+NODES_PER_SITE = 15
+
+
+def build(scope: str):
+    plane = RBay(RBayConfig(seed=909, nodes_per_site=NODES_PER_SITE,
+                            jitter=False, tree_scope=scope)).build()
+    plane.sim.run()
+    admin = plane.admin("Virginia")
+    for node in plane.site_nodes("Virginia"):
+        admin.post_resource(node, "GPU", True, scope=scope)
+    plane.sim.run()
+    return plane
+
+
+def run_local_queries(plane):
+    customer = plane.make_customer("iso", "Virginia")
+    latencies = []
+    for _ in range(QUERIES):
+        result = customer.query_once(
+            "SELECT 1 FROM Virginia WHERE GPU = true;").result()
+        assert result.satisfied
+        latencies.append(result.latency_ms)
+        customer.release_all(result)
+        plane.sim.run()
+    return latencies
+
+
+def run_isolated():
+    plane = build(scope="site")
+    # Security check: observe every delivery of messages for the topic.
+    leaked = []
+
+    def watch(msg):
+        data = msg.payload.get("data") if isinstance(msg.payload, dict) else None
+        topic = None
+        if isinstance(data, dict):
+            topic = data.get("topic")
+        if topic == "Virginia/GPU":
+            host = plane.network.host(msg.dst)
+            if host.site.name != "Virginia":
+                leaked.append(msg.dst)
+
+    plane.network.set_delivery_hook(watch)
+    latencies = run_local_queries(plane)
+    plane.network.set_delivery_hook(None)
+    return {"latencies": latencies, "leaked": len(leaked)}
+
+
+def run_global():
+    plane = build(scope="global")
+    return {"latencies": run_local_queries(plane), "leaked": None}
+
+
+def run_experiment():
+    return {"isolated": run_isolated(), "global": run_global()}
+
+
+@pytest.mark.benchmark(group="ablation-isolation")
+def test_ablation_administrative_isolation(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    isolated, global_ = results["isolated"], results["global"]
+
+    print_banner("Ablation: local-site query latency with/without "
+                 "administrative isolation (§III-E)")
+    print(format_table(
+        ["mode", "mean (ms)", "p90 (ms)", "site-topic msgs leaked off-site"],
+        [
+            ["isolation ON (site-scoped trees)",
+             f"{mean(isolated['latencies']):.2f}",
+             f"{percentile(isolated['latencies'], 90):.2f}",
+             isolated["leaked"]],
+            ["isolation OFF (global trees)",
+             f"{mean(global_['latencies']):.2f}",
+             f"{percentile(global_['latencies'], 90):.2f}",
+             "n/a"],
+        ],
+    ))
+
+    # Security: not a single message about the site topic left the site.
+    assert isolated["leaked"] == 0
+    # Efficiency: with isolation every local query stays sub-10 ms; with
+    # global trees, the (uniformly placed) root usually sits off-site, so
+    # the mean pays cross-site RTTs.
+    assert mean(isolated["latencies"]) < 10.0
+    assert mean(global_["latencies"]) > mean(isolated["latencies"]) * 3

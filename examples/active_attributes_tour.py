@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""A tour of the active-attribute sandbox (the paper's §III-B, Table I).
+
+Shows the five handlers, the instruction budget terminating runaway
+handlers, the excluded libraries, and an admin evolving policy at runtime
+through onDeliver — all without a federation, just the AA runtime.
+
+Run:  python examples/active_attributes_tour.py
+"""
+
+from repro.aa import AARuntime
+
+runtime = AARuntime(instruction_limit=50_000)
+
+
+def show(title):
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    show("Figure 5: the password handler")
+    runtime.define("CPU", "Intel 3.40GHz", """
+AA = {NodeId = 27,
+      IP = "131.94.130.118",
+      Password = "3053482032"}
+
+function onGet(caller, password)
+  if (password == AA.Password) then
+    return AA.NodeId
+  end
+  return nil
+end
+""")
+    attribute = runtime.get("CPU")
+    print("get with correct password:", attribute.invoke("onGet", ("joe", "3053482032")))
+    print("get with wrong password:  ", attribute.invoke("onGet", ("joe", "1234")))
+
+    # ------------------------------------------------------------------
+    show("onSubscribe / onUnsubscribe: threshold tree membership")
+    runtime.define("CPU_utilization", 5.0, """
+function onSubscribe(caller, topic)
+  if AA.Value ~= nil and AA.Value < 10 then return topic end
+  return nil
+end
+
+function onUnsubscribe(caller, topic)
+  if AA.Value == nil or AA.Value >= 10 then return topic end
+  return nil
+end
+""")
+    print("util=5  -> join 'CPU_utilization<10%':",
+          runtime.should_subscribe("CPU_utilization", 0, "CPU_utilization<10%"))
+    runtime.set_value("CPU_utilization", 85.0)
+    print("util=85 -> leave the tree:",
+          runtime.should_unsubscribe("CPU_utilization", 0, "CPU_utilization<10%"))
+
+    # ------------------------------------------------------------------
+    show("onDeliver: interactive policy management")
+    runtime.define("rental", 0, """
+AA = {Price = 100}
+
+function onDeliver(caller, payload)
+  if payload.new_price ~= nil then
+    AA.Price = payload.new_price
+  end
+  return AA.Price
+end
+
+function onGet(caller, payload)
+  if payload.budget ~= nil and payload.budget >= AA.Price then
+    return "granted"
+  end
+  return nil
+end
+""")
+    print("budget 60 at price 100:", runtime.on_get("rental", "joe", {"budget": 60}))
+    print("admin lowers price ->", runtime.on_deliver("rental", "admin", {"new_price": 50}))
+    print("budget 60 at price 50: ", runtime.on_get("rental", "joe", {"budget": 60}))
+
+    # ------------------------------------------------------------------
+    show("The instruction budget terminates runaway handlers")
+    runtime.define("hostile", 0, "function onTimer() while true do end end")
+    runtime.on_timer("hostile")
+    print("runaway handler error:", runtime.get("hostile").errors[0])
+
+    # ------------------------------------------------------------------
+    show("Kernel / filesystem / network libraries are excluded")
+    for source in ("return os.time()", "return io()", "return require('socket')"):
+        runtime.define("probe", 0, f"function onGet(c, p) {source} end")
+        runtime.on_get("probe", "x")
+        print(f"  {source:<28} -> {runtime.get('probe').errors[-1].message}")
+
+    # ------------------------------------------------------------------
+    show("Handlers can do real work: math, string, and table manipulation")
+    runtime.define("scorer", 0, """
+function onGet(caller, payload)
+  -- Rank offered specs by a weighted score, return the best label.
+  local best, best_score = nil, -math.huge
+  for name, spec in pairs(payload) do
+    local score = spec.vcpu * 2 + spec.mem - spec.price * 0.5
+    if score > best_score then
+      best, best_score = name, score
+    end
+  end
+  return string.format("%s (score %d)", best, best_score)
+end
+""")
+    offers = {
+        "small": {"vcpu": 2, "mem": 4, "price": 10},
+        "large": {"vcpu": 16, "mem": 64, "price": 80},
+        "deal": {"vcpu": 8, "mem": 32, "price": 12},
+    }
+    print("best offer:", runtime.on_get("scorer", "joe", offers))
+
+
+if __name__ == "__main__":
+    main()

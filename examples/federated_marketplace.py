@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario (Figure 1) as a running marketplace.
+
+Grace, James and Kevin administer three sites with different sharing
+policies — a nightly time window, an access-control list, and a history
+credit check.  Joe shops across all three; Mallory tries and mostly fails.
+An admin then changes rental prices interactively (multicast → onDeliver)
+and two contending customers race for scarce nodes (truncated exponential
+backoff).
+
+Run:  python examples/federated_marketplace.py
+"""
+
+from repro.core import RBay, RBayConfig
+from repro.core.policies import (
+    acl_policy,
+    credit_policy,
+    rental_price_policy,
+    time_window_policy,
+)
+
+
+def build_marketplace():
+    plane = RBay(RBayConfig(seed=42, nodes_per_site=8)).build()
+    plane.sim.run()
+
+    grace = plane.admin("Virginia")
+    james = plane.admin("Oregon")
+    kevin = plane.admin("California")
+
+    # Grace: resources available only 22:00 - 06:00.
+    for node in plane.site_nodes("Virginia")[:5]:
+        grace.set_gate_policy(node, time_window_policy(node.node_id.value, 22, 6))
+        grace.post_resource(node, "Matlab", "8.0")
+
+    # James: only principals on his ACL.
+    for node in plane.site_nodes("Oregon")[:5]:
+        james.set_gate_policy(node, acl_policy(node.node_id.value, ["joe", "alice"]))
+        james.post_resource(node, "Matlab", "8.0")
+
+    # Kevin: requires a history credit of at least 0.7.
+    for node in plane.site_nodes("California")[:5]:
+        kevin.set_gate_policy(node, credit_policy(node.node_id.value, 0.7))
+        kevin.post_resource(node, "Matlab", "8.0")
+
+    plane.sim.run()
+    return plane
+
+
+def shop(plane, who, hour, credit, label):
+    customer = plane.make_customer(who, "Virginia")
+    sql = "SELECT 15 FROM Virginia, Oregon, California WHERE Matlab = '8.0';"
+    result = customer.query_once(sql, payload={"hour": hour, "credit": credit}).result()
+    by_site = {}
+    for entry in result.entries:
+        by_site[entry["site"]] = by_site.get(entry["site"], 0) + 1
+    print(f"  {label:<42} -> {len(result.entries):>2} nodes {by_site}")
+    customer.release_all(result)
+    plane.sim.run()
+
+
+def main() -> None:
+    plane = build_marketplace()
+
+    print("Shopping for Matlab 8.0 across Grace/James/Kevin:")
+    shop(plane, "joe", hour=23, credit=0.9, label="joe, 11pm, credit 0.9 (all policies pass)")
+    shop(plane, "joe", hour=14, credit=0.9, label="joe, 2pm (Grace's window closed)")
+    shop(plane, "mallory", hour=23, credit=0.9, label="mallory, 11pm (not on James's ACL)")
+    shop(plane, "joe", hour=23, credit=0.3, label="joe, poor credit (Kevin declines)")
+
+    # ------------------------------------------------------------------
+    # Interactive policy management: Sydney's admin rents GPUs and later
+    # lowers the price via a multicast command (onDeliver handlers).
+    print("\nRental pricing via admin multicast (onDeliver):")
+    sydney = plane.admin("Sydney")
+    for node in plane.site_nodes("Sydney")[:4]:
+        sydney.set_gate_policy(node, rental_price_policy(node.node_id.value, 100.0))
+        sydney.post_resource(node, "GPU", True)
+    plane.sim.run()
+
+    buyer = plane.make_customer("joe", "Sydney")
+    sql = "SELECT 2 FROM Sydney WHERE GPU = true;"
+    result = buyer.query_once(sql, payload={"budget": 60.0}).result()
+    print(f"  budget 60 at price 100 -> {len(result.entries)} nodes")
+
+    sydney.broadcast_command(plane.site_nodes("Sydney")[0],
+                             "GPU", "access", {"new_price": 50.0})
+    plane.sim.run()
+    result = buyer.query_once(sql, payload={"budget": 60.0}).result()
+    print(f"  after price drop to 50  -> {len(result.entries)} nodes")
+    buyer.release_all(result)
+    plane.sim.run()
+
+    # ------------------------------------------------------------------
+    # Contention: two customers race for ALL of Tokyo's shared FPGAs.
+    print("\nContention with truncated exponential backoff:")
+    tokyo = plane.admin("Tokyo")
+    fpga_nodes = plane.site_nodes("Tokyo")[:3]
+    for node in fpga_nodes:
+        tokyo.post_resource(node, "FPGA", True)
+    plane.sim.run()
+
+    alice = plane.make_customer("alice", "Tokyo")
+    bob = plane.make_customer("bob", "Tokyo")
+    want = f"SELECT {len(fpga_nodes)} FROM Tokyo WHERE FPGA = true;"
+    fa = alice.request(want)
+    fb = bob.request(want)
+    oa, ob = fa.result(), fb.result()
+    for name, outcome in (("alice", oa), ("bob", ob)):
+        status = "WON" if outcome.satisfied else "backed off, gave up"
+        print(f"  {name}: {status} after {outcome.attempts} attempt(s)")
+
+
+if __name__ == "__main__":
+    main()

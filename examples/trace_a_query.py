@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Trace one query's message flow through the plane.
+
+Attaches a :class:`Tracer` to the network, runs a single multi-site
+composite query, and prints a condensed timeline of every message class it
+generated — size probes, anycast walks, commit/release — grouped by kind.
+Useful for understanding (and teaching) the five-step protocol.
+
+Run:  python examples/trace_a_query.py
+"""
+
+from collections import Counter
+
+from repro.core import RBay, RBayConfig
+from repro.sim.trace import Tracer
+from repro.workloads import FederationWorkload, WorkloadSpec
+
+
+def main() -> None:
+    plane = RBay(RBayConfig(seed=3, nodes_per_site=12, jitter=False)).build()
+    FederationWorkload(plane, WorkloadSpec(password="rbay")).apply()
+    plane.sim.run()
+
+    tracer = Tracer(plane.sim, max_events=50_000)
+
+    def hook(msg):
+        payload = msg.payload if isinstance(msg.payload, dict) else {}
+        detail = payload.get("kind") or (payload.get("data") or {}).get("op") or ""
+        tracer.emit(msg.kind, str(detail), src=msg.src, dst=msg.dst)
+
+    plane.network.set_delivery_hook(hook)
+
+    customer = plane.make_customer("joe", "Virginia")
+    itype = "c3.xlarge"
+    sql = f"SELECT 3 FROM * WHERE instance_type = '{itype}' GROUPBY CPU_utilization ASC;"
+    print(f"Tracing: {sql}\n")
+    result = customer.query_once(sql, payload={"password": "rbay"}).result()
+    plane.sim.run()
+    plane.network.set_delivery_hook(None)
+
+    print(f"satisfied={result.satisfied}  entries={len(result.entries)}  "
+          f"latency={result.latency_ms:.1f} ms  "
+          f"members visited={result.visited_members}\n")
+
+    # Condense the timeline: message class -> count.
+    counts = Counter()
+    for event in tracer:
+        label = f"{event.category}/{event.message}" if event.message else event.category
+        counts[label] += 1
+    print(f"{len(tracer)} messages delivered during the query:")
+    for label, count in counts.most_common():
+        print(f"  {count:>4}  {label}")
+
+    print("\nFirst 12 events of the timeline:")
+    for event in list(tracer)[:12]:
+        print(f"  [{event.time:9.3f} ms] {event.category:<14} {event.message:<12} "
+              f"{event.fields['src']} -> {event.fields['dst']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""RBAY: a scalable and extensible information plane for federating
+distributed datacenter resources (ICDCS 2017) — full Python reproduction.
+
+Quick orientation (details in README.md / docs/architecture.md):
+
+* :mod:`repro.core` — the public API: build a federation (:class:`RBay`),
+  post resources (:class:`SiteAdmin`), query them (:class:`Customer`);
+* :mod:`repro.sim` / :mod:`repro.net` — deterministic discrete-event
+  substrate and the Table II wide-area network;
+* :mod:`repro.pastry` / :mod:`repro.scribe` — the DHT and the attribute
+  trees (multicast / anycast / aggregate);
+* :mod:`repro.aa` — the sandboxed active-attribute runtime ("Luette");
+* :mod:`repro.query` — the SQL interface and five-step protocol;
+* :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.metrics`,
+  :mod:`repro.ext` — baselines, evaluation workloads, measurement, and the
+  paper's future-work extensions.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

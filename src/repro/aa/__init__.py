@@ -1,0 +1,37 @@
+"""Active-attribute (AA) runtime: a sandboxed Lua-like language, "Luette".
+
+The paper attaches admin-written procedural code to every resource
+attribute and runs it in a modified Lua interpreter with (i) a strict
+bytecode-instruction budget and (ii) no kernel / filesystem / network
+library access (§III-B).  Luette reproduces that execution model with a
+from-scratch lexer, parser, and tree-walking interpreter: tables are the
+only data structure, handlers are functions stored under well-known names
+in the AA table, and every evaluation step debits an instruction budget.
+"""
+
+from repro.aa.errors import (
+    InstructionLimitExceeded,
+    LuetteError,
+    LuetteRuntimeError,
+    LuetteSyntaxError,
+    SandboxViolation,
+)
+from repro.aa.interpreter import Interpreter
+from repro.aa.parser import parse
+from repro.aa.runtime import AARuntime, ActiveAttribute, HANDLER_NAMES
+from repro.aa.values import LuetteFunction, LuetteTable
+
+__all__ = [
+    "AARuntime",
+    "ActiveAttribute",
+    "HANDLER_NAMES",
+    "InstructionLimitExceeded",
+    "Interpreter",
+    "LuetteError",
+    "LuetteFunction",
+    "LuetteRuntimeError",
+    "LuetteSyntaxError",
+    "LuetteTable",
+    "SandboxViolation",
+    "parse",
+]

@@ -1,0 +1,166 @@
+"""AST node definitions for Luette.
+
+Plain dataclasses; the interpreter dispatches on the class.  Every node
+carries its source line for runtime error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Literal(Node):
+    value: Any = None  # None / bool / float / str
+
+
+@dataclass
+class Name(Node):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Node):
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass
+class UnOp(Node):
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass
+class Index(Node):
+    """``obj[key]`` and ``obj.key`` (the latter desugars to a string key)."""
+
+    obj: Node = None
+    key: Node = None
+
+
+@dataclass
+class Call(Node):
+    func: Node = None
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class FunctionExpr(Node):
+    params: List[str] = field(default_factory=list)
+    body: "Block" = None
+    name: str = "?"  # for diagnostics
+
+
+@dataclass
+class TableConstructor(Node):
+    """``{a, b, k = v, [expr] = v}``; array_items get keys 1..n."""
+
+    array_items: List[Node] = field(default_factory=list)
+    keyed_items: List[Tuple[Node, Node]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Block(Node):
+    statements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class LocalAssign(Node):
+    names: List[str] = field(default_factory=list)
+    values: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Node):
+    """Parallel assignment to names and/or index targets."""
+
+    targets: List[Node] = field(default_factory=list)  # Name or Index
+    values: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class If(Node):
+    """Chain of (condition, block) arms plus optional else block."""
+
+    arms: List[Tuple[Node, Block]] = field(default_factory=list)
+    orelse: Optional[Block] = None
+
+
+@dataclass
+class While(Node):
+    condition: Node = None
+    body: Block = None
+
+
+@dataclass
+class RepeatUntil(Node):
+    """``repeat <body> until <condition>`` — body runs at least once."""
+
+    body: Block = None
+    condition: Node = None
+
+
+@dataclass
+class MethodCall(Node):
+    """``obj:name(args)`` — sugar for ``obj.name(obj, args...)`` with the
+    receiver evaluated once."""
+
+    obj: Node = None
+    method: str = ""
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class NumericFor(Node):
+    var: str = ""
+    start: Node = None
+    stop: Node = None
+    step: Optional[Node] = None
+    body: Block = None
+
+
+@dataclass
+class GenericFor(Node):
+    """``for k, v in iterator(expr) do ... end`` (pairs/ipairs)."""
+
+    names: List[str] = field(default_factory=list)
+    iterable: Node = None
+    body: Block = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class ExprStatement(Node):
+    expr: Node = None
+
+
+@dataclass
+class FunctionDecl(Node):
+    """``function name(...)`` / ``function a.b.c(...)`` / ``local function f``."""
+
+    target: Node = None  # Name or Index
+    func: FunctionExpr = None
+    is_local: bool = False

@@ -1,0 +1,45 @@
+"""Error taxonomy for the Luette sandbox."""
+
+from __future__ import annotations
+
+
+class LuetteError(Exception):
+    """Base class for every error raised by the Luette toolchain."""
+
+
+class LuetteSyntaxError(LuetteError):
+    """Lexing or parsing failed."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class LuetteRuntimeError(LuetteError):
+    """An error raised while executing Luette code (type errors, nil index...)."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"{message} (line {line})" if line else message)
+        self.line = line
+
+
+class InstructionLimitExceeded(LuetteError):
+    """The handler exceeded its instruction budget and was terminated.
+
+    This is the paper's first interpreter modification: "strictly limiting
+    the number of bytecode instructions a handler can execute.  If a handler
+    exceeds that limit, its execution is immediately terminated."
+    """
+
+    def __init__(self, limit: int):
+        super().__init__(f"instruction budget of {limit} exhausted")
+        self.limit = limit
+
+
+class SandboxViolation(LuetteError):
+    """Attempt to reach outside the sandbox (excluded library, host escape).
+
+    The paper's second modification: "core libraries relating to kernel
+    access, file system access, network access are excluded".
+    """

@@ -1,0 +1,400 @@
+"""Tree-walking interpreter for Luette with an instruction budget.
+
+The budget is the paper's central sandbox mechanism: every AST node
+evaluation debits one instruction, and when the budget reaches zero the
+handler is terminated immediately with :class:`InstructionLimitExceeded`.
+Handlers therefore cannot spin, regardless of what admins write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.aa import ast_nodes as ast
+from repro.aa.errors import (
+    InstructionLimitExceeded,
+    LuetteRuntimeError,
+    SandboxViolation,
+)
+from repro.aa.values import (
+    BuiltinFunction,
+    Environment,
+    ExcludedLibrary,
+    LuetteFunction,
+    LuetteTable,
+    is_truthy,
+    tostring,
+    type_name,
+)
+
+#: Default per-invocation instruction budget (paper: "strictly limiting the
+#: number of bytecode instructions a handler can execute").
+DEFAULT_INSTRUCTION_LIMIT = 100_000
+
+#: Maximum Luette call depth (recursion guard independent of the budget).
+MAX_CALL_DEPTH = 64
+
+
+class _BreakSignal(Exception):
+    """Internal control flow for ``break``."""
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow for ``return``."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class Interpreter:
+    """Executes Luette ASTs under a budget against a global environment."""
+
+    def __init__(self, globals_env: Environment, instruction_limit: int = DEFAULT_INSTRUCTION_LIMIT):
+        self.globals = globals_env
+        self.instruction_limit = instruction_limit
+        self._budget = 0
+        self._call_depth = 0
+        #: Total instructions consumed over the interpreter's lifetime
+        #: (benchmark bookkeeping; reset at will).
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run_chunk(self, chunk: ast.Block, env: Optional[Environment] = None) -> Any:
+        """Execute a parsed chunk with a fresh budget; returns its return value."""
+        self._budget = self.instruction_limit
+        self._call_depth = 0
+        try:
+            self.exec_block(chunk, Environment(env or self.globals))
+        except _ReturnSignal as signal:
+            return signal.value
+        except _BreakSignal:
+            raise LuetteRuntimeError("break outside of loop") from None
+        return None
+
+    def call_function(self, func: Any, args: List[Any]) -> Any:
+        """Invoke a Luette or builtin function with a fresh budget."""
+        self._budget = self.instruction_limit
+        self._call_depth = 0
+        return self._call(func, args, line=0)
+
+    # ------------------------------------------------------------------
+    # Budget
+    # ------------------------------------------------------------------
+    def _tick(self, line: int = 0) -> None:
+        self._budget -= 1
+        self.instructions_executed += 1
+        if self._budget < 0:
+            raise InstructionLimitExceeded(self.instruction_limit)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_block(self, block: ast.Block, env: Environment) -> None:
+        for statement in block.statements:
+            self.exec_statement(statement, env)
+
+    def exec_statement(self, node: ast.Node, env: Environment) -> None:
+        """Execute one statement node (one budget tick + dispatch)."""
+        self._tick(node.line)
+        kind = type(node)
+        if kind is ast.LocalAssign:
+            values = [self.eval(v, env) for v in node.values]
+            for i, name in enumerate(node.names):
+                env.declare(name, values[i] if i < len(values) else None)
+        elif kind is ast.Assign:
+            values = [self.eval(v, env) for v in node.values]
+            values += [None] * (len(node.targets) - len(values))
+            for target, value in zip(node.targets, values):
+                self._assign_target(target, value, env)
+        elif kind is ast.ExprStatement:
+            self.eval(node.expr, env)
+        elif kind is ast.If:
+            for condition, block in node.arms:
+                if is_truthy(self.eval(condition, env)):
+                    self.exec_block(block, Environment(env))
+                    return
+            if node.orelse is not None:
+                self.exec_block(node.orelse, Environment(env))
+        elif kind is ast.While:
+            while is_truthy(self.eval(node.condition, env)):
+                self._tick(node.line)
+                try:
+                    self.exec_block(node.body, Environment(env))
+                except _BreakSignal:
+                    break
+        elif kind is ast.RepeatUntil:
+            while True:
+                self._tick(node.line)
+                loop_env = Environment(env)
+                try:
+                    self.exec_block(node.body, loop_env)
+                except _BreakSignal:
+                    break
+                # Lua scopes the until-condition inside the loop body.
+                if is_truthy(self.eval(node.condition, loop_env)):
+                    break
+        elif kind is ast.NumericFor:
+            self._exec_numeric_for(node, env)
+        elif kind is ast.GenericFor:
+            self._exec_generic_for(node, env)
+        elif kind is ast.Return:
+            value = self.eval(node.value, env) if node.value is not None else None
+            raise _ReturnSignal(value)
+        elif kind is ast.Break:
+            raise _BreakSignal()
+        elif kind is ast.FunctionDecl:
+            func = LuetteFunction(node.func.params, node.func.body, env, node.func.name)
+            if node.is_local:
+                assert isinstance(node.target, ast.Name)
+                env.declare(node.target.name, func)
+            else:
+                self._assign_target(node.target, func, env)
+        elif kind is ast.Block:
+            self.exec_block(node, Environment(env))
+        else:
+            raise LuetteRuntimeError(f"unknown statement {kind.__name__}", node.line)
+
+    def _exec_numeric_for(self, node: ast.NumericFor, env: Environment) -> None:
+        start = self._expect_number(self.eval(node.start, env), "for start", node.line)
+        stop = self._expect_number(self.eval(node.stop, env), "for limit", node.line)
+        step = (
+            self._expect_number(self.eval(node.step, env), "for step", node.line)
+            if node.step is not None
+            else 1.0
+        )
+        if step == 0:
+            raise LuetteRuntimeError("for step is zero", node.line)
+        value = start
+        while (step > 0 and value <= stop) or (step < 0 and value >= stop):
+            self._tick(node.line)
+            loop_env = Environment(env)
+            loop_env.declare(node.var, value)
+            try:
+                self.exec_block(node.body, loop_env)
+            except _BreakSignal:
+                break
+            value += step
+
+    def _exec_generic_for(self, node: ast.GenericFor, env: Environment) -> None:
+        iterable = self.eval(node.iterable, env)
+        if not hasattr(iterable, "__iter__"):
+            raise LuetteRuntimeError(
+                f"generic for needs pairs()/ipairs(), got {type_name(iterable)}",
+                node.line,
+            )
+        for item in iterable:
+            self._tick(node.line)
+            loop_env = Environment(env)
+            values = item if isinstance(item, tuple) else (item,)
+            for i, name in enumerate(node.names):
+                loop_env.declare(name, values[i] if i < len(values) else None)
+            try:
+                self.exec_block(node.body, loop_env)
+            except _BreakSignal:
+                break
+
+    def _assign_target(self, target: ast.Node, value: Any, env: Environment) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.name, value)
+        elif isinstance(target, ast.Index):
+            obj = self.eval(target.obj, env)
+            if not isinstance(obj, LuetteTable):
+                raise LuetteRuntimeError(
+                    f"attempt to index a {type_name(obj)} value", target.line
+                )
+            obj.set(self.eval(target.key, env), value)
+        else:  # pragma: no cover - parser prevents this
+            raise LuetteRuntimeError("invalid assignment target", target.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.Node, env: Environment) -> Any:
+        """Evaluate one expression node (one budget tick + dispatch)."""
+        self._tick(node.line)
+        kind = type(node)
+        if kind is ast.Literal:
+            return node.value
+        if kind is ast.Name:
+            return env.lookup(node.name)
+        if kind is ast.BinOp:
+            return self._eval_binop(node, env)
+        if kind is ast.UnOp:
+            return self._eval_unop(node, env)
+        if kind is ast.Index:
+            obj = self.eval(node.obj, env)
+            key = self.eval(node.key, env)
+            if isinstance(obj, ExcludedLibrary):
+                raise SandboxViolation(
+                    f"library '{obj.name}' is excluded from the AA executing environment"
+                )
+            if isinstance(obj, LuetteTable):
+                return obj.get(key)
+            if isinstance(obj, str):
+                # Allow string library methods via the global string table.
+                string_lib = self.globals.lookup("string")
+                if isinstance(string_lib, LuetteTable):
+                    return string_lib.get(key)
+            raise LuetteRuntimeError(
+                f"attempt to index a {type_name(obj)} value", node.line
+            )
+        if kind is ast.Call:
+            func = self.eval(node.func, env)
+            args = [self.eval(a, env) for a in node.args]
+            return self._call(func, args, node.line)
+        if kind is ast.MethodCall:
+            receiver = self.eval(node.obj, env)
+            if isinstance(receiver, LuetteTable):
+                func = receiver.get(node.method)
+            elif isinstance(receiver, str):
+                string_lib = self.globals.lookup("string")
+                func = string_lib.get(node.method) if isinstance(string_lib, LuetteTable) else None
+            else:
+                raise LuetteRuntimeError(
+                    f"attempt to index a {type_name(receiver)} value", node.line
+                )
+            args = [receiver] + [self.eval(a, env) for a in node.args]
+            return self._call(func, args, node.line)
+        if kind is ast.FunctionExpr:
+            return LuetteFunction(node.params, node.body, env, node.name)
+        if kind is ast.TableConstructor:
+            table = LuetteTable()
+            for i, item in enumerate(node.array_items, start=1):
+                table.set(i, self.eval(item, env))
+            for key_node, value_node in node.keyed_items:
+                table.set(self.eval(key_node, env), self.eval(value_node, env))
+            return table
+        raise LuetteRuntimeError(f"unknown expression {kind.__name__}", node.line)
+
+    def _call(self, func: Any, args: List[Any], line: int) -> Any:
+        if isinstance(func, ExcludedLibrary):
+            raise SandboxViolation(
+                f"library '{func.name}' is excluded from the AA executing environment"
+            )
+        if isinstance(func, BuiltinFunction):
+            return func.fn(self, args)
+        if not isinstance(func, LuetteFunction):
+            raise LuetteRuntimeError(
+                f"attempt to call a {type_name(func)} value", line
+            )
+        if self._call_depth >= MAX_CALL_DEPTH:
+            raise LuetteRuntimeError("call stack overflow", line)
+        call_env = Environment(func.env)
+        for i, param in enumerate(func.params):
+            call_env.declare(param, args[i] if i < len(args) else None)
+        self._call_depth += 1
+        try:
+            self.exec_block(func.body, call_env)
+            return None
+        except _ReturnSignal as signal:
+            return signal.value
+        finally:
+            self._call_depth -= 1
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _eval_binop(self, node: ast.BinOp, env: Environment) -> Any:
+        op = node.op
+        if op == "and":
+            left = self.eval(node.left, env)
+            return self.eval(node.right, env) if is_truthy(left) else left
+        if op == "or":
+            left = self.eval(node.left, env)
+            return left if is_truthy(left) else self.eval(node.right, env)
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        if op == "==":
+            return self._raw_equal(left, right)
+        if op == "~=":
+            return not self._raw_equal(left, right)
+        if op == "..":
+            if not isinstance(left, (str, int, float)) or isinstance(left, bool):
+                raise LuetteRuntimeError(
+                    f"attempt to concatenate a {type_name(left)} value", node.line
+                )
+            if not isinstance(right, (str, int, float)) or isinstance(right, bool):
+                raise LuetteRuntimeError(
+                    f"attempt to concatenate a {type_name(right)} value", node.line
+                )
+            return tostring(left) + tostring(right)
+        if op in ("<", "<=", ">", ">="):
+            return self._compare(op, left, right, node.line)
+        lnum = self._expect_number(left, f"operand of '{op}'", node.line)
+        rnum = self._expect_number(right, f"operand of '{op}'", node.line)
+        if op == "+":
+            return lnum + rnum
+        if op == "-":
+            return lnum - rnum
+        if op == "*":
+            return lnum * rnum
+        if op == "/":
+            if rnum == 0:
+                return float("inf") if lnum > 0 else float("-inf") if lnum < 0 else float("nan")
+            return lnum / rnum
+        if op == "%":
+            if rnum == 0:
+                return float("nan")
+            return lnum - (lnum // rnum) * rnum  # Lua's floored modulo
+        if op == "^":
+            try:
+                return float(lnum**rnum)
+            except (OverflowError, ValueError):
+                return float("inf")
+        raise LuetteRuntimeError(f"unknown operator {op!r}", node.line)
+
+    def _eval_unop(self, node: ast.UnOp, env: Environment) -> Any:
+        value = self.eval(node.operand, env)
+        if node.op == "not":
+            return not is_truthy(value)
+        if node.op == "-":
+            return -self._expect_number(value, "operand of unary '-'", node.line)
+        if node.op == "#":
+            if isinstance(value, str):
+                return float(len(value))
+            if isinstance(value, LuetteTable):
+                return float(value.length())
+            raise LuetteRuntimeError(
+                f"attempt to get length of a {type_name(value)} value", node.line
+            )
+        raise LuetteRuntimeError(f"unknown unary operator {node.op!r}", node.line)
+
+    @staticmethod
+    def _raw_equal(left: Any, right: Any) -> bool:
+        if isinstance(left, bool) or isinstance(right, bool):
+            return left is right
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return float(left) == float(right)
+        if type(left) is not type(right):
+            return False
+        if isinstance(left, (LuetteTable,)):
+            return left is right
+        return left == right
+
+    def _compare(self, op: str, left: Any, right: Any, line: int) -> bool:
+        both_numbers = (
+            isinstance(left, (int, float)) and not isinstance(left, bool)
+            and isinstance(right, (int, float)) and not isinstance(right, bool)
+        )
+        both_strings = isinstance(left, str) and isinstance(right, str)
+        if not (both_numbers or both_strings):
+            raise LuetteRuntimeError(
+                f"attempt to compare {type_name(left)} with {type_name(right)}", line
+            )
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+
+    @staticmethod
+    def _expect_number(value: Any, what: str, line: int) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise LuetteRuntimeError(
+                f"{what} must be a number, got {type_name(value)}", line
+            )
+        return float(value)

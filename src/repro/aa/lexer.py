@@ -1,0 +1,178 @@
+"""Tokenizer for Luette source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.aa.errors import LuetteSyntaxError
+
+KEYWORDS = frozenset({
+    "and", "break", "do", "else", "elseif", "end", "false", "for",
+    "function", "if", "in", "local", "nil", "not", "or", "repeat",
+    "return", "then", "true", "until", "while",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ("==", "~=", "<=", ">=", "..")
+_SINGLE_OPS = "+-*/%^#<>=(){}[];:,."
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "'": "'", "\\": "\\", "0": "\0"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: str  # NAME, NUMBER, STRING, KEYWORD, OP, EOF
+    value: object
+    line: int
+    column: int
+
+    def matches(self, type_: str, value: Optional[object] = None) -> bool:
+        return self.type == type_ and (value is None or self.value == value)
+
+
+class Lexer:
+    """Converts Luette source into a token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def error(self, message: str) -> LuetteSyntaxError:
+        return LuetteSyntaxError(message, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> List[Token]:
+        """Scan the whole source into a token list ending with EOF."""
+        tokens: List[Token] = []
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "-" and self._peek(1) == "-":
+                self._skip_comment()
+                continue
+            line, column = self.line, self.column
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                tokens.append(self._number(line, column))
+            elif ch.isalpha() or ch == "_":
+                tokens.append(self._name(line, column))
+            elif ch in "\"'":
+                tokens.append(self._string(line, column))
+            else:
+                tokens.append(self._operator(line, column))
+        tokens.append(Token("EOF", None, self.line, self.column))
+        return tokens
+
+    # ------------------------------------------------------------------
+    def _skip_comment(self) -> None:
+        self._advance(2)
+        # Long comments --[[ ... ]] span lines; short ones end at newline.
+        if self._peek() == "[" and self._peek(1) == "[":
+            self._advance(2)
+            while self.pos < len(self.source):
+                if self._peek() == "]" and self._peek(1) == "]":
+                    self._advance(2)
+                    return
+                self._advance()
+            raise self.error("unterminated long comment")
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start : self.pos]
+            try:
+                return Token("NUMBER", float(int(text, 16)), line, column)
+            except ValueError:
+                raise self.error(f"malformed hex number {text!r}") from None
+        seen_dot = seen_exp = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp:
+                seen_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        text = self.source[start : self.pos]
+        try:
+            return Token("NUMBER", float(text), line, column)
+        except ValueError:
+            raise self.error(f"malformed number {text!r}") from None
+
+    def _name(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in KEYWORDS:
+            return Token("KEYWORD", text, line, column)
+        return Token("NAME", text, line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        quote = self._advance()
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self.error("unterminated string")
+            if ch == "\\":
+                self._advance()
+                esc = self._advance()
+                if esc not in _ESCAPES:
+                    raise self.error(f"bad escape sequence \\{esc}")
+                chars.append(_ESCAPES[esc])
+                continue
+            self._advance()
+            if ch == quote:
+                break
+            chars.append(ch)
+        return Token("STRING", "".join(chars), line, column)
+
+    def _operator(self, line: int, column: int) -> Token:
+        for op in _MULTI_OPS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("OP", op, line, column)
+        ch = self._peek()
+        if ch in _SINGLE_OPS:
+            self._advance()
+            return Token("OP", ch, line, column)
+        raise self.error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Luette source text."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,398 @@
+"""Recursive-descent parser for Luette.
+
+Grammar is the Lua 5.1 subset the paper's handlers need: blocks, local and
+parallel assignment, if/elseif/else, while, numeric and generic for,
+functions (named, local, anonymous), tables, and the full expression
+grammar with Lua's operator precedences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.aa import ast_nodes as ast
+from repro.aa.errors import LuetteSyntaxError
+from repro.aa.lexer import Token, tokenize
+
+# Binary operator precedence (higher binds tighter); right marks
+# right-associativity (.. and ^ in Lua).
+_BINARY = {
+    "or": (1, False),
+    "and": (2, False),
+    "<": (3, False), ">": (3, False), "<=": (3, False),
+    ">=": (3, False), "~=": (3, False), "==": (3, False),
+    "..": (4, True),
+    "+": (5, False), "-": (5, False),
+    "*": (6, False), "/": (6, False), "%": (6, False),
+    "^": (8, True),
+}
+_UNARY_PRECEDENCE = 7
+
+#: Tokens that terminate a block.
+_BLOCK_ENDERS = {"end", "else", "elseif", "until"}
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != "EOF":
+            self.pos += 1
+        return token
+
+    def check(self, type_: str, value: Optional[object] = None) -> bool:
+        return self.peek().matches(type_, value)
+
+    def accept(self, type_: str, value: Optional[object] = None) -> Optional[Token]:
+        if self.check(type_, value):
+            return self.advance()
+        return None
+
+    def expect(self, type_: str, value: Optional[object] = None) -> Token:
+        """Consume a required token or raise a syntax error."""
+        if not self.check(type_, value):
+            token = self.peek()
+            want = value if value is not None else type_
+            raise LuetteSyntaxError(
+                f"expected {want!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def error(self, message: str) -> LuetteSyntaxError:
+        token = self.peek()
+        return LuetteSyntaxError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def parse_chunk(self) -> ast.Block:
+        """Parse a whole chunk and require EOF."""
+        block = self.parse_block()
+        if not self.check("EOF"):
+            raise self.error(f"unexpected token {self.peek().value!r} after chunk")
+        return block
+
+    def parse_block(self) -> ast.Block:
+        """Parse statements until a block terminator (end/else/until/EOF)."""
+        start = self.peek()
+        statements: List[ast.Node] = []
+        while True:
+            self._skip_semicolons()
+            token = self.peek()
+            if token.type == "EOF" or (token.type == "KEYWORD" and token.value in _BLOCK_ENDERS):
+                break
+            if token.matches("KEYWORD", "return"):
+                statements.append(self._parse_return())
+                self._skip_semicolons()
+                break  # return ends a block in Lua
+            if token.matches("KEYWORD", "break"):
+                self.advance()
+                statements.append(ast.Break(line=token.line))
+                self._skip_semicolons()
+                break
+            statements.append(self._parse_statement())
+        return ast.Block(statements=statements, line=start.line)
+
+    def _skip_semicolons(self) -> None:
+        while self.accept("OP", ";"):
+            pass
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_statement(self) -> ast.Node:
+        token = self.peek()
+        if token.type == "KEYWORD":
+            if token.value == "local":
+                return self._parse_local()
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "repeat":
+                return self._parse_repeat()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "function":
+                return self._parse_function_decl(is_local=False)
+            if token.value == "do":
+                self.advance()
+                block = self.parse_block()
+                self.expect("KEYWORD", "end")
+                return block
+        return self._parse_expr_or_assign()
+
+    def _parse_return(self) -> ast.Return:
+        token = self.expect("KEYWORD", "return")
+        nxt = self.peek()
+        if nxt.type == "EOF" or (nxt.type == "KEYWORD" and nxt.value in _BLOCK_ENDERS):
+            return ast.Return(value=None, line=token.line)
+        if nxt.matches("OP", ";"):
+            return ast.Return(value=None, line=token.line)
+        return ast.Return(value=self.parse_expression(), line=token.line)
+
+    def _parse_local(self) -> ast.Node:
+        token = self.expect("KEYWORD", "local")
+        if self.check("KEYWORD", "function"):
+            return self._parse_function_decl(is_local=True, consumed_local=True)
+        names = [self.expect("NAME").value]
+        while self.accept("OP", ","):
+            names.append(self.expect("NAME").value)
+        values: List[ast.Node] = []
+        if self.accept("OP", "="):
+            values.append(self.parse_expression())
+            while self.accept("OP", ","):
+                values.append(self.parse_expression())
+        return ast.LocalAssign(names=names, values=values, line=token.line)
+
+    def _parse_if(self) -> ast.If:
+        token = self.expect("KEYWORD", "if")
+        arms: List[Tuple[ast.Node, ast.Block]] = []
+        condition = self.parse_expression()
+        self.expect("KEYWORD", "then")
+        arms.append((condition, self.parse_block()))
+        orelse: Optional[ast.Block] = None
+        while True:
+            if self.accept("KEYWORD", "elseif"):
+                condition = self.parse_expression()
+                self.expect("KEYWORD", "then")
+                arms.append((condition, self.parse_block()))
+                continue
+            if self.accept("KEYWORD", "else"):
+                orelse = self.parse_block()
+            self.expect("KEYWORD", "end")
+            break
+        return ast.If(arms=arms, orelse=orelse, line=token.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self.expect("KEYWORD", "while")
+        condition = self.parse_expression()
+        self.expect("KEYWORD", "do")
+        body = self.parse_block()
+        self.expect("KEYWORD", "end")
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _parse_repeat(self) -> ast.RepeatUntil:
+        token = self.expect("KEYWORD", "repeat")
+        body = self.parse_block()
+        self.expect("KEYWORD", "until")
+        condition = self.parse_expression()
+        return ast.RepeatUntil(body=body, condition=condition, line=token.line)
+
+    def _parse_for(self) -> ast.Node:
+        token = self.expect("KEYWORD", "for")
+        first = self.expect("NAME").value
+        if self.accept("OP", "="):
+            start = self.parse_expression()
+            self.expect("OP", ",")
+            stop = self.parse_expression()
+            step = self.parse_expression() if self.accept("OP", ",") else None
+            self.expect("KEYWORD", "do")
+            body = self.parse_block()
+            self.expect("KEYWORD", "end")
+            return ast.NumericFor(var=first, start=start, stop=stop, step=step,
+                                  body=body, line=token.line)
+        names = [first]
+        while self.accept("OP", ","):
+            names.append(self.expect("NAME").value)
+        self.expect("KEYWORD", "in")
+        iterable = self.parse_expression()
+        self.expect("KEYWORD", "do")
+        body = self.parse_block()
+        self.expect("KEYWORD", "end")
+        return ast.GenericFor(names=names, iterable=iterable, body=body, line=token.line)
+
+    def _parse_function_decl(self, is_local: bool, consumed_local: bool = False) -> ast.FunctionDecl:
+        if consumed_local:
+            pass  # 'local' already swallowed by _parse_local
+        token = self.expect("KEYWORD", "function")
+        name_token = self.expect("NAME")
+        target: ast.Node = ast.Name(name=name_token.value, line=name_token.line)
+        dotted = name_token.value
+        while self.accept("OP", "."):
+            attr = self.expect("NAME")
+            target = ast.Index(obj=target,
+                               key=ast.Literal(value=attr.value, line=attr.line),
+                               line=attr.line)
+            dotted += "." + attr.value
+        if is_local and isinstance(target, ast.Index):
+            raise self.error("local function name cannot be dotted")
+        func = self._parse_function_body(dotted, token.line)
+        return ast.FunctionDecl(target=target, func=func, is_local=is_local, line=token.line)
+
+    def _parse_function_body(self, name: str, line: int) -> ast.FunctionExpr:
+        self.expect("OP", "(")
+        params: List[str] = []
+        if not self.check("OP", ")"):
+            params.append(self.expect("NAME").value)
+            while self.accept("OP", ","):
+                params.append(self.expect("NAME").value)
+        self.expect("OP", ")")
+        body = self.parse_block()
+        self.expect("KEYWORD", "end")
+        return ast.FunctionExpr(params=params, body=body, name=name, line=line)
+
+    def _parse_expr_or_assign(self) -> ast.Node:
+        token = self.peek()
+        first = self._parse_prefix_expression()
+        if self.check("OP", "=") or self.check("OP", ","):
+            targets = [first]
+            while self.accept("OP", ","):
+                targets.append(self._parse_prefix_expression())
+            self.expect("OP", "=")
+            values = [self.parse_expression()]
+            while self.accept("OP", ","):
+                values.append(self.parse_expression())
+            for target in targets:
+                if not isinstance(target, (ast.Name, ast.Index)):
+                    raise LuetteSyntaxError("cannot assign to this expression",
+                                            target.line, 0)
+            return ast.Assign(targets=targets, values=values, line=token.line)
+        if not isinstance(first, (ast.Call, ast.MethodCall)):
+            raise LuetteSyntaxError("syntax error: expression is not a statement",
+                                    token.line, token.column)
+        return ast.ExprStatement(expr=first, line=token.line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self, min_precedence: int = 0) -> ast.Node:
+        """Precedence-climbing expression parser (Lua operator table)."""
+        token = self.peek()
+        if token.matches("KEYWORD", "not") or token.matches("OP", "-") or token.matches("OP", "#"):
+            self.advance()
+            operand = self.parse_expression(_UNARY_PRECEDENCE)
+            left: ast.Node = ast.UnOp(op=str(token.value), operand=operand, line=token.line)
+        else:
+            left = self._parse_simple_expression()
+        while True:
+            token = self.peek()
+            op = None
+            if token.type == "OP" and token.value in _BINARY:
+                op = str(token.value)
+            elif token.type == "KEYWORD" and token.value in ("and", "or"):
+                op = str(token.value)
+            if op is None:
+                break
+            precedence, right_assoc = _BINARY[op]
+            if precedence < min_precedence:
+                break
+            self.advance()
+            # Left-associative: operands on the right must bind strictly
+            # tighter; right-associative (.., ^): same precedence recurses.
+            right = self.parse_expression(precedence if right_assoc else precedence + 1)
+            left = ast.BinOp(op=op, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_simple_expression(self) -> ast.Node:
+        token = self.peek()
+        if token.type == "NUMBER":
+            self.advance()
+            return ast.Literal(value=token.value, line=token.line)
+        if token.type == "STRING":
+            self.advance()
+            return ast.Literal(value=token.value, line=token.line)
+        if token.matches("KEYWORD", "nil"):
+            self.advance()
+            return ast.Literal(value=None, line=token.line)
+        if token.matches("KEYWORD", "true"):
+            self.advance()
+            return ast.Literal(value=True, line=token.line)
+        if token.matches("KEYWORD", "false"):
+            self.advance()
+            return ast.Literal(value=False, line=token.line)
+        if token.matches("KEYWORD", "function"):
+            self.advance()
+            return self._parse_function_body("<anonymous>", token.line)
+        if token.matches("OP", "{"):
+            return self._parse_table()
+        return self._parse_prefix_expression()
+
+    def _parse_prefix_expression(self) -> ast.Node:
+        token = self.peek()
+        if token.matches("OP", "("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("OP", ")")
+        elif token.type == "NAME":
+            self.advance()
+            expr = ast.Name(name=str(token.value), line=token.line)
+        else:
+            raise self.error(f"unexpected token {token.value!r}")
+        # Suffixes: .name, [expr], (args), "literal call" is not supported.
+        while True:
+            if self.accept("OP", "."):
+                attr = self.expect("NAME")
+                expr = ast.Index(obj=expr,
+                                 key=ast.Literal(value=attr.value, line=attr.line),
+                                 line=attr.line)
+            elif self.check("OP", "["):
+                self.advance()
+                key = self.parse_expression()
+                self.expect("OP", "]")
+                expr = ast.Index(obj=expr, key=key, line=token.line)
+            elif self.check("OP", "("):
+                self.advance()
+                args: List[ast.Node] = []
+                if not self.check("OP", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("OP", ","):
+                        args.append(self.parse_expression())
+                self.expect("OP", ")")
+                expr = ast.Call(func=expr, args=args, line=token.line)
+            elif self.check("OP", ":"):
+                self.advance()
+                method = self.expect("NAME")
+                self.expect("OP", "(")
+                args = []
+                if not self.check("OP", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("OP", ","):
+                        args.append(self.parse_expression())
+                self.expect("OP", ")")
+                expr = ast.MethodCall(obj=expr, method=str(method.value),
+                                      args=args, line=token.line)
+            else:
+                break
+        return expr
+
+    def _parse_table(self) -> ast.TableConstructor:
+        token = self.expect("OP", "{")
+        array_items: List[ast.Node] = []
+        keyed_items: List[Tuple[ast.Node, ast.Node]] = []
+        while not self.check("OP", "}"):
+            if self.check("OP", "["):
+                self.advance()
+                key = self.parse_expression()
+                self.expect("OP", "]")
+                self.expect("OP", "=")
+                keyed_items.append((key, self.parse_expression()))
+            elif self.check("NAME") and self.peek(1).matches("OP", "="):
+                name = self.advance()
+                self.advance()  # '='
+                keyed_items.append(
+                    (ast.Literal(value=name.value, line=name.line), self.parse_expression())
+                )
+            else:
+                array_items.append(self.parse_expression())
+            if not (self.accept("OP", ",") or self.accept("OP", ";")):
+                break
+        self.expect("OP", "}")
+        return ast.TableConstructor(array_items=array_items, keyed_items=keyed_items,
+                                    line=token.line)
+
+
+def parse(source: str) -> ast.Block:
+    """Parse Luette source into an AST chunk."""
+    return Parser(tokenize(source)).parse_chunk()

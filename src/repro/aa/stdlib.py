@@ -1,0 +1,417 @@
+"""The restricted standard library exposed inside the Luette sandbox.
+
+Per the paper (§III-B): "The core libraries relating to kernel access, file
+system access, network access are excluded from the executing environment.
+As a result, handlers can only do simple math, string, and table
+manipulation."  Calling an excluded entry point raises
+:class:`SandboxViolation` rather than silently resolving to nil so policy
+bugs surface loudly in admin testing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, List, Optional
+
+from repro.aa.errors import LuetteRuntimeError, SandboxViolation
+from repro.aa.values import (
+    BuiltinFunction,
+    Environment,
+    ExcludedLibrary,
+    LuetteTable,
+    is_truthy,
+    tonumber,
+    tostring,
+    type_name,
+)
+
+#: Handlers may not materialize strings longer than this (memory bomb guard).
+MAX_STRING_LENGTH = 65_536
+
+#: Library names the paper's modified interpreter excludes.
+EXCLUDED_LIBRARIES = ("os", "io", "require", "dofile", "load", "loadstring",
+                      "loadfile", "package", "debug", "collectgarbage")
+
+
+def _arg(args: List[Any], index: int, default: Any = None) -> Any:
+    return args[index] if index < len(args) else default
+
+
+def _number_arg(args: List[Any], index: int, fn_name: str) -> float:
+    value = _arg(args, index)
+    number = tonumber(value)
+    if number is None:
+        raise LuetteRuntimeError(
+            f"bad argument #{index + 1} to '{fn_name}' (number expected, got {type_name(value)})"
+        )
+    return number
+
+
+def _string_arg(args: List[Any], index: int, fn_name: str) -> str:
+    value = _arg(args, index)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return tostring(value)
+    if not isinstance(value, str):
+        raise LuetteRuntimeError(
+            f"bad argument #{index + 1} to '{fn_name}' (string expected, got {type_name(value)})"
+        )
+    return value
+
+
+def _table_arg(args: List[Any], index: int, fn_name: str) -> LuetteTable:
+    value = _arg(args, index)
+    if not isinstance(value, LuetteTable):
+        raise LuetteRuntimeError(
+            f"bad argument #{index + 1} to '{fn_name}' (table expected, got {type_name(value)})"
+        )
+    return value
+
+
+def _check_string_size(length: int) -> None:
+    if length > MAX_STRING_LENGTH:
+        raise SandboxViolation(
+            f"string of {length} bytes exceeds the sandbox limit of {MAX_STRING_LENGTH}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Base functions
+# ----------------------------------------------------------------------
+def _builtin_type(interp, args):
+    return type_name(_arg(args, 0))
+
+
+def _builtin_tostring(interp, args):
+    return tostring(_arg(args, 0))
+
+
+def _builtin_tonumber(interp, args):
+    return tonumber(_arg(args, 0))
+
+
+def _builtin_pairs(interp, args):
+    return _table_arg(args, 0, "pairs").pairs()
+
+
+def _builtin_ipairs(interp, args):
+    return _table_arg(args, 0, "ipairs").ipairs()
+
+
+def _builtin_error(interp, args):
+    raise LuetteRuntimeError(tostring(_arg(args, 0, "error")))
+
+
+def _builtin_assert(interp, args):
+    value = _arg(args, 0)
+    if not is_truthy(value):
+        raise LuetteRuntimeError(tostring(_arg(args, 1, "assertion failed!")))
+    return value
+
+
+def _excluded(name: str) -> ExcludedLibrary:
+    return ExcludedLibrary(name)
+
+
+# ----------------------------------------------------------------------
+# math library
+# ----------------------------------------------------------------------
+def _make_math_lib(rng: Optional[random.Random]) -> LuetteTable:
+    lib = LuetteTable()
+
+    def unary(name, fn):
+        lib.set(name, BuiltinFunction(
+            lambda interp, args, fn=fn, name=name: float(fn(_number_arg(args, 0, name))),
+            f"math.{name}",
+        ))
+
+    unary("abs", abs)
+    unary("ceil", math.ceil)
+    unary("floor", math.floor)
+    unary("sqrt", lambda x: math.sqrt(x) if x >= 0 else float("nan"))
+    unary("exp", math.exp)
+
+    def _log(interp, args):
+        x = _number_arg(args, 0, "log")
+        if x <= 0:
+            return float("nan") if x < 0 else float("-inf")
+        if len(args) > 1:
+            base = _number_arg(args, 1, "log")
+            return math.log(x, base)
+        return math.log(x)
+
+    lib.set("log", BuiltinFunction(_log, "math.log"))
+
+    def _variadic(name, fn):
+        def impl(interp, args, name=name, fn=fn):
+            if not args:
+                raise LuetteRuntimeError(f"bad argument #1 to '{name}' (value expected)")
+            numbers = [_number_arg(args, i, name) for i in range(len(args))]
+            return float(fn(numbers))
+
+        lib.set(name, BuiltinFunction(impl, f"math.{name}"))
+
+    _variadic("max", max)
+    _variadic("min", min)
+
+    def _fmod(interp, args):
+        x = _number_arg(args, 0, "fmod")
+        y = _number_arg(args, 1, "fmod")
+        return math.fmod(x, y) if y != 0 else float("nan")
+
+    lib.set("fmod", BuiltinFunction(_fmod, "math.fmod"))
+    lib.set("pow", BuiltinFunction(
+        lambda interp, args: float(_number_arg(args, 0, "pow") ** _number_arg(args, 1, "pow")),
+        "math.pow",
+    ))
+    lib.set("huge", float("inf"))
+    lib.set("pi", math.pi)
+
+    def _random(interp, args):
+        if rng is None:
+            raise SandboxViolation("math.random is disabled in this runtime")
+        if not args:
+            return rng.random()
+        low = 1.0
+        high = _number_arg(args, 0, "random")
+        if len(args) > 1:
+            low, high = high, _number_arg(args, 1, "random")
+        return float(rng.randint(int(low), int(high)))
+
+    lib.set("random", BuiltinFunction(_random, "math.random"))
+    return lib
+
+
+# ----------------------------------------------------------------------
+# string library
+# ----------------------------------------------------------------------
+def _normalize_index(i: float, length: int) -> int:
+    index = int(i)
+    if index < 0:
+        index = max(length + index + 1, 1)
+    elif index == 0:
+        index = 1
+    return index
+
+
+def _make_string_lib() -> LuetteTable:
+    lib = LuetteTable()
+
+    def _len(interp, args):
+        return float(len(_string_arg(args, 0, "len")))
+
+    def _sub(interp, args):
+        s = _string_arg(args, 0, "sub")
+        i = _normalize_index(_number_arg(args, 1, "sub"), len(s))
+        j_raw = _arg(args, 2)
+        if j_raw is None:
+            j = len(s)
+        else:
+            j = int(_number_arg(args, 2, "sub"))
+            if j < 0:
+                j = len(s) + j + 1
+            j = min(j, len(s))
+        if i > j:
+            return ""
+        return s[i - 1 : j]
+
+    def _upper(interp, args):
+        return _string_arg(args, 0, "upper").upper()
+
+    def _lower(interp, args):
+        return _string_arg(args, 0, "lower").lower()
+
+    def _rep(interp, args):
+        s = _string_arg(args, 0, "rep")
+        n = max(0, int(_number_arg(args, 1, "rep")))
+        _check_string_size(len(s) * n)
+        return s * n
+
+    def _reverse(interp, args):
+        return _string_arg(args, 0, "reverse")[::-1]
+
+    def _find(interp, args):
+        """Plain substring find: returns the 1-based start index or nil."""
+        s = _string_arg(args, 0, "find")
+        pattern = _string_arg(args, 1, "find")
+        init = int(_number_arg(args, 2, "find")) if len(args) > 2 else 1
+        init = _normalize_index(float(init), len(s))
+        index = s.find(pattern, init - 1)
+        return None if index < 0 else float(index + 1)
+
+    def _byte(interp, args):
+        s = _string_arg(args, 0, "byte")
+        i = int(_number_arg(args, 1, "byte")) if len(args) > 1 else 1
+        if not 1 <= i <= len(s):
+            return None
+        return float(ord(s[i - 1]))
+
+    def _char(interp, args):
+        codes = [int(_number_arg(args, i, "char")) for i in range(len(args))]
+        for code in codes:
+            if not 0 <= code < 0x110000:
+                raise LuetteRuntimeError(f"bad character code {code}")
+        return "".join(chr(c) for c in codes)
+
+    def _format(interp, args):
+        template = _string_arg(args, 0, "format")
+        out: List[str] = []
+        arg_index = 1
+        i = 0
+        while i < len(template):
+            ch = template[i]
+            if ch != "%":
+                out.append(ch)
+                i += 1
+                continue
+            i += 1
+            if i >= len(template):
+                raise LuetteRuntimeError("invalid format string (trailing %)")
+            # Optional flags/width/precision, e.g. %-8s, %05d, %6.2f.
+            modifier_start = i
+            while i < len(template) and template[i] in "-+ 0123456789.":
+                i += 1
+            if i >= len(template):
+                raise LuetteRuntimeError("invalid format string (trailing %)")
+            modifier = template[modifier_start:i]
+            if len(modifier) > 10:
+                raise LuetteRuntimeError("format width too long")
+            spec = template[i]
+            i += 1
+            if spec == "%":
+                if modifier:
+                    raise LuetteRuntimeError("invalid format specifier %%%")
+                out.append("%")
+                continue
+            value = _arg(args, arg_index)
+            arg_index += 1
+            if spec == "d":
+                out.append(("%" + modifier + "d") % int(_coerce_format_number(value, "d")))
+            elif spec in ("f", "g", "e"):
+                out.append(("%" + modifier + spec) % _coerce_format_number(value, spec))
+            elif spec == "s":
+                out.append(("%" + modifier + "s") % tostring(value))
+            elif spec in ("x", "X"):
+                out.append(("%" + modifier + spec) % int(_coerce_format_number(value, spec)))
+            else:
+                raise LuetteRuntimeError(f"unsupported format specifier %{spec}")
+        result = "".join(out)
+        _check_string_size(len(result))
+        return result
+
+    for name, fn in (
+        ("len", _len), ("sub", _sub), ("upper", _upper), ("lower", _lower),
+        ("rep", _rep), ("reverse", _reverse), ("find", _find),
+        ("byte", _byte), ("char", _char), ("format", _format),
+    ):
+        lib.set(name, BuiltinFunction(fn, f"string.{name}"))
+    return lib
+
+
+def _coerce_format_number(value: Any, spec: str) -> float:
+    number = tonumber(value)
+    if number is None:
+        raise LuetteRuntimeError(f"bad argument to format %{spec} (number expected)")
+    return number
+
+
+# ----------------------------------------------------------------------
+# table library
+# ----------------------------------------------------------------------
+def _make_table_lib() -> LuetteTable:
+    lib = LuetteTable()
+
+    def _insert(interp, args):
+        table = _table_arg(args, 0, "insert")
+        if len(args) >= 3:
+            position = int(_number_arg(args, 1, "insert"))
+            value = args[2]
+            length = table.length()
+            if not 1 <= position <= length + 1:
+                raise LuetteRuntimeError("bad argument #2 to 'insert' (position out of bounds)")
+            for index in range(length, position - 1, -1):
+                table.set(index + 1, table.get(index))
+            table.set(position, value)
+        else:
+            table.set(table.length() + 1, _arg(args, 1))
+
+    def _remove(interp, args):
+        table = _table_arg(args, 0, "remove")
+        length = table.length()
+        position = int(_number_arg(args, 1, "remove")) if len(args) > 1 else length
+        if length == 0:
+            return None
+        if not 1 <= position <= length:
+            raise LuetteRuntimeError("bad argument #2 to 'remove' (position out of bounds)")
+        removed = table.get(position)
+        for index in range(position, length):
+            table.set(index, table.get(index + 1))
+        table.set(length, None)
+        return removed
+
+    def _concat(interp, args):
+        table = _table_arg(args, 0, "concat")
+        separator = _string_arg(args, 1, "concat") if len(args) > 1 else ""
+        pieces = []
+        for _, value in table.ipairs():
+            if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+                raise LuetteRuntimeError(
+                    f"invalid value (at index {len(pieces) + 1}) in table for 'concat'"
+                )
+            pieces.append(tostring(value))
+        result = separator.join(pieces)
+        _check_string_size(len(result))
+        return result
+
+    def _sort(interp, args):
+        table = _table_arg(args, 0, "sort")
+        comparator = _arg(args, 1)
+        items = [table.get(i) for i in range(1, table.length() + 1)]
+        if comparator is None:
+            try:
+                items.sort()
+            except TypeError:
+                raise LuetteRuntimeError("attempt to compare incompatible values in sort") from None
+        else:
+            import functools
+
+            def cmp(a, b):
+                if is_truthy(interp._call(comparator, [a, b], 0)):
+                    return -1
+                if is_truthy(interp._call(comparator, [b, a], 0)):
+                    return 1
+                return 0
+
+            items.sort(key=functools.cmp_to_key(cmp))
+        for index, value in enumerate(items, start=1):
+            table.set(index, value)
+
+    for name, fn in (("insert", _insert), ("remove", _remove),
+                     ("concat", _concat), ("sort", _sort)):
+        lib.set(name, BuiltinFunction(fn, f"table.{name}"))
+    return lib
+
+
+# ----------------------------------------------------------------------
+# Sandbox assembly
+# ----------------------------------------------------------------------
+def make_sandbox_globals(rng: Optional[random.Random] = None) -> Environment:
+    """Build the global environment handlers execute against.
+
+    ``rng`` enables ``math.random`` with a host-controlled (deterministic)
+    source; without it the function is blocked, keeping handlers pure.
+    """
+    env = Environment()
+    env.declare("type", BuiltinFunction(_builtin_type, "type"))
+    env.declare("tostring", BuiltinFunction(_builtin_tostring, "tostring"))
+    env.declare("tonumber", BuiltinFunction(_builtin_tonumber, "tonumber"))
+    env.declare("pairs", BuiltinFunction(_builtin_pairs, "pairs"))
+    env.declare("ipairs", BuiltinFunction(_builtin_ipairs, "ipairs"))
+    env.declare("error", BuiltinFunction(_builtin_error, "error"))
+    env.declare("assert", BuiltinFunction(_builtin_assert, "assert"))
+    env.declare("math", _make_math_lib(rng))
+    env.declare("string", _make_string_lib())
+    env.declare("table", _make_table_lib())
+    for name in EXCLUDED_LIBRARIES:
+        env.declare(name, _excluded(name))
+    return env

@@ -1,0 +1,13 @@
+"""Baselines RBAY is compared against.
+
+* :mod:`repro.baselines.ganglia` — the centralized hierarchical management
+  model of §II-A (cluster masters polled by one central manager), used by
+  the centralization ablation;
+* :mod:`repro.baselines.past` — a Past-style plain key-value attribute
+  store, the memory baseline of Figure 8c.
+"""
+
+from repro.baselines.ganglia import CentralManager, ClusterMaster, GangliaFederation
+from repro.baselines.past import PastStore
+
+__all__ = ["CentralManager", "ClusterMaster", "GangliaFederation", "PastStore"]

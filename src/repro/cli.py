@@ -1,0 +1,196 @@
+"""Command-line interface: build a federation, inspect it, run queries.
+
+Usage (installed as the ``rbay`` console script, or ``python -m repro.cli``):
+
+    rbay describe --sites 8 --nodes 20
+    rbay query "SELECT 3 FROM * WHERE instance_type = 'c3.large';"
+    rbay explain "SELECT 5 FROM Virginia, Tokyo WHERE GPU = true GROUPBY vcpu DESC;"
+    rbay latency --origins Virginia Singapore --queries 20
+    rbay lua "return ('rbay'):upper()"
+
+The CLI always builds a workload-dressed simulated federation (the paper's
+eight EC2 sites unless ``--synthetic-sites`` is given); all times shown are
+simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.plane import RBay, RBayConfig
+from repro.metrics.stats import LatencyRecorder, format_table, mean, stddev
+from repro.query.plan import plan_query
+from repro.query.sql import parse_query
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+from repro.workloads.queries import QueryWorkload
+
+
+def _build_plane(args) -> tuple:
+    config = RBayConfig(
+        seed=args.seed,
+        nodes_per_site=args.nodes,
+        synthetic_sites=args.synthetic_sites,
+        jitter=not args.no_jitter,
+    )
+    plane = RBay(config).build()
+    workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
+    plane.sim.run()
+    return plane, workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2017, help="master RNG seed")
+    parser.add_argument("--nodes", type=int, default=15, help="nodes per site")
+    parser.add_argument("--synthetic-sites", type=int, default=None,
+                        help="use N synthetic sites instead of the 8 EC2 sites")
+    parser.add_argument("--no-jitter", action="store_true",
+                        help="disable latency jitter (fully deterministic)")
+    parser.add_argument("--password", default="rbay",
+                        help="gate password installed by the workload")
+
+
+def cmd_describe(args) -> int:
+    """Build a federation and print a per-site summary table."""
+    plane, workload = _build_plane(args)
+    print(f"Federation: {len(plane.registry)} sites, {len(plane.nodes)} nodes, "
+          f"seed {args.seed}")
+    rows = []
+    for site in plane.registry:
+        population = workload.site_instance_population(site.name)
+        top = max(population, key=population.get)
+        rows.append([
+            site.name, site.region, len(plane.site_nodes(site.name)),
+            f"{top} x{population[top]}",
+            plane.context.gateways.get(site.name, "-"),
+        ])
+    print(format_table(
+        ["site", "region", "nodes", "most common instance", "gateway addr"], rows))
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Run one SQL query and print the granted nodes (exit 1 if short)."""
+    plane, _ = _build_plane(args)
+    customer = plane.make_customer("cli", args.origin)
+    result = customer.query_once(args.sql,
+                                 payload={"password": args.password}).result()
+    print(f"satisfied: {result.satisfied}  entries: {len(result.entries)}  "
+          f"latency: {result.latency_ms:.1f} ms  "
+          f"sites answered: {len(result.sites_answered)}")
+    if result.entries:
+        rows = [[e["site"], e["address"], f"{e['node_id'] % 100_000:>6}…",
+                 e.get("order_value", "")]
+                for e in result.entries]
+        print(format_table(["site", "addr", "node id", "order value"], rows))
+    return 0 if result.satisfied else 1
+
+
+def cmd_explain(args) -> int:
+    """Print the five-step plan for a query without executing it."""
+    plane, _ = _build_plane(args)
+    query = parse_query(args.sql)
+    print(plan_query(query, plane.context).explain())
+    return 0
+
+
+def cmd_latency(args) -> int:
+    """Sweep latency vs. number of requesting sites (Figure 10 style)."""
+    plane, _ = _build_plane(args)
+    site_names = [s.name for s in plane.registry]
+    origins = args.origins or site_names[:3]
+    recorder = LatencyRecorder()
+    for origin in origins:
+        if origin not in site_names:
+            print(f"unknown site {origin!r}; choices: {', '.join(site_names)}",
+                  file=sys.stderr)
+            return 2
+        generator = QueryWorkload(plane.streams.stream(f"cli-{origin}"),
+                                  site_names, k=1, password=args.password)
+        customer = plane.make_customer(f"cli-{origin}", origin)
+        for n_sites in range(1, len(site_names) + 1):
+            for sql, payload in generator.stream(origin, n_sites, args.queries):
+                result = customer.query_once(sql, payload=payload).result()
+                recorder.record(f"{origin}/{n_sites}", result.latency_ms)
+    rows = []
+    for n_sites in range(1, len(site_names) + 1):
+        row = [f"{n_sites}-site"]
+        for origin in origins:
+            samples = recorder.samples(f"{origin}/{n_sites}")
+            row.append(f"{mean(samples):5.0f}±{stddev(samples):3.0f}")
+        rows.append(row)
+    print(format_table(["location", *(f"{o} (ms)" for o in origins)], rows))
+    return 0
+
+
+def cmd_lua(args) -> int:
+    """Run a Luette chunk in the AA sandbox and print its return value."""
+    from repro.aa.errors import LuetteError
+    from repro.aa.interpreter import Interpreter
+    from repro.aa.parser import parse as parse_luette
+    from repro.aa.stdlib import make_sandbox_globals
+    from repro.aa.values import luette_to_python
+
+    source = args.source
+    if source == "-":
+        source = sys.stdin.read()
+    interpreter = Interpreter(make_sandbox_globals(),
+                              instruction_limit=args.budget)
+    try:
+        value = interpreter.run_chunk(parse_luette(source))
+    except LuetteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(repr(luette_to_python(value)))
+    print(f"-- {interpreter.instructions_executed} instructions",
+          file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="rbay",
+        description="RBAY federated information plane (simulated)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="build a federation and summarize it")
+    _add_common(p)
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("query", help="run one SQL query")
+    _add_common(p)
+    p.add_argument("sql", help="the query text")
+    p.add_argument("--origin", default="Virginia", help="customer's home site")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("explain", help="show the query plan without running it")
+    _add_common(p)
+    p.add_argument("sql", help="the query text")
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("latency", help="latency-vs-sites sweep (Fig. 10 style)")
+    _add_common(p)
+    p.add_argument("--origins", nargs="*", default=None,
+                   help="origin sites (default: first three)")
+    p.add_argument("--queries", type=int, default=10, help="queries per point")
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("lua", help="run a Luette chunk in the AA sandbox")
+    p.add_argument("source", help="chunk text, or '-' to read stdin")
+    p.add_argument("--budget", type=int, default=100_000,
+                   help="instruction budget")
+    p.set_defaults(fn=cmd_lua)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""RBAY core: the information plane assembled from the substrates.
+
+The public API a downstream user touches:
+
+* :class:`~repro.core.plane.RBay` — build and federate sites into one plane;
+* :class:`~repro.core.node.RBayNode` — a participating server (Pastry node +
+  key-value map + AA runtime + Scribe trees);
+* :class:`~repro.core.admin.SiteAdmin` — post/hide/expose resources and push
+  policies;
+* :class:`~repro.core.client.Customer` — issue SQL queries with conflict
+  backoff.
+"""
+
+from repro.core.admin import SiteAdmin
+from repro.core.client import Customer, QueryOutcome
+from repro.core.naming import AttributeHierarchy, instance_tree, predicate_tree_name
+from repro.core.node import RBayNode
+from repro.core.plane import RBay, RBayConfig
+from repro.core.policies import (
+    credit_policy,
+    open_policy,
+    password_policy,
+    time_window_policy,
+    utilization_subscription,
+)
+from repro.core.reservation import ReservationTable
+
+__all__ = [
+    "AttributeHierarchy",
+    "Customer",
+    "QueryOutcome",
+    "RBay",
+    "RBayConfig",
+    "RBayNode",
+    "ReservationTable",
+    "SiteAdmin",
+    "credit_policy",
+    "instance_tree",
+    "open_policy",
+    "password_policy",
+    "predicate_tree_name",
+    "time_window_policy",
+    "utilization_subscription",
+]

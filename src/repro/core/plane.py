@@ -1,0 +1,252 @@
+"""The RBay facade: build, federate, and operate the information plane.
+
+One :class:`RBay` object owns the simulator, the network, the Pastry
+overlay of :class:`RBayNode` servers, the Scribe/query applications wired
+onto every node, the per-site admins, and the customers.  Everything a
+downstream user needs is reachable from here; the examples and benchmarks
+construct nothing else by hand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.admin import SiteAdmin
+from repro.core.client import Customer
+from repro.core.monitor import SyntheticMonitor
+from repro.core.naming import AttributeHierarchy
+from repro.core.node import RBayNode
+from repro.net.latency import (
+    LatencyModel,
+    SyntheticLatencyModel,
+    TableIILatencyModel,
+    make_ec2_registry,
+)
+from repro.net.network import Network
+from repro.net.site import Site, SiteRegistry
+from repro.pastry.leafset import DEFAULT_LEAF_SET_SIZE
+from repro.pastry.nodeid import NodeId
+from repro.pastry.overlay import Overlay
+from repro.query.executor import QueryApplication, QueryContext
+from repro.scribe.scribe import ScribeApplication
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+
+
+@dataclass
+class RBayConfig:
+    """Construction parameters for a federation.
+
+    Defaults reproduce the paper's testbed shape: the eight EC2 sites of
+    Table II with jittered latencies and site isolation enabled.
+    """
+
+    seed: int = 0
+    nodes_per_site: int = 20
+    #: None → the paper's eight EC2 sites; an int → that many synthetic sites.
+    synthetic_sites: Optional[int] = None
+    synthetic_hop_ms: float = 15.0
+    jitter: bool = True
+    jitter_cv: float = 0.05
+    unstable_jitter_cv: float = 0.25
+    isolation: bool = True
+    leaf_set_size: int = DEFAULT_LEAF_SET_SIZE
+    maintenance_interval_ms: float = 2_000.0
+    instruction_limit: int = 100_000
+    reservation_hold_ms: float = 2_000.0
+    lease_ms: float = 60_000.0
+    monitor_interval_ms: float = 1_000.0
+    loss_rate: float = 0.0
+    #: Receiver-side processing delay per message (ms).  0 = pure network
+    #: latency; ~1-2 ms approximates the paper's shared-VM JVM costs.
+    processing_delay_ms: float = 0.0
+    #: Scope of attribute trees: "site" (administrative isolation, the
+    #: paper's design) or "global" (the isolation-off ablation).
+    tree_scope: str = "site"
+
+
+class RBay:
+    """A federated information plane over simulated geo-distributed sites."""
+
+    def __init__(self, config: Optional[RBayConfig] = None):
+        self.config = config if config is not None else RBayConfig()
+        cfg = self.config
+        self.sim = Simulator()
+        self.streams = RandomStreams(cfg.seed)
+        self.registry = self._make_registry(cfg)
+        self.latency = self._make_latency(cfg)
+        self.network = Network(
+            self.sim,
+            self.latency,
+            loss_rate=cfg.loss_rate,
+            loss_rng=self.streams.stream("network-loss") if cfg.loss_rate else None,
+            processing_ms=cfg.processing_delay_ms,
+        )
+        self.hierarchy = AttributeHierarchy()
+        self.context = QueryContext(
+            self.sim,
+            [site.name for site in self.registry],
+            hierarchy=self.hierarchy,
+            lease_ms=cfg.lease_ms,
+            tree_scope=cfg.tree_scope,
+        )
+        self.overlay = Overlay(
+            self.sim,
+            self.network,
+            self.streams,
+            self.registry,
+            leaf_set_size=cfg.leaf_set_size,
+            isolation=cfg.isolation,
+            node_factory=self._make_node,
+        )
+        self.admins: Dict[str, SiteAdmin] = {}
+        self.customers: List[Customer] = []
+        self.monitor = SyntheticMonitor(
+            self.sim, self.streams.stream("monitor"), interval_ms=cfg.monitor_interval_ms
+        )
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_registry(cfg: RBayConfig) -> SiteRegistry:
+        if cfg.synthetic_sites is None:
+            return make_ec2_registry()
+        registry = SiteRegistry()
+        for i in range(cfg.synthetic_sites):
+            registry.add(f"Site{i:03d}", "Synthetic")
+        return registry
+
+    def _make_latency(self, cfg: RBayConfig) -> LatencyModel:
+        jitter_rng = self.streams.stream("latency-jitter") if cfg.jitter else None
+        if cfg.synthetic_sites is None:
+            return TableIILatencyModel(
+                rng=jitter_rng,
+                jitter_cv=cfg.jitter_cv,
+                unstable_jitter_cv=cfg.unstable_jitter_cv,
+            )
+        return SyntheticLatencyModel(
+            cfg.synthetic_sites,
+            hop_ms=cfg.synthetic_hop_ms,
+            rng=jitter_rng,
+            jitter_cv=cfg.jitter_cv if cfg.jitter else 0.0,
+        )
+
+    def _make_node(self, node_id: NodeId, site: Site) -> RBayNode:
+        cfg = self.config
+        node = RBayNode(
+            node_id,
+            site,
+            self.sim,
+            leaf_set_size=cfg.leaf_set_size,
+            instruction_limit=cfg.instruction_limit,
+            reservation_hold_ms=cfg.reservation_hold_ms,
+        )
+        return node
+
+    def build(self, nodes_per_site: Optional[int] = None) -> "RBay":
+        """Create the node population, bootstrap routing, wire applications."""
+        if self._built:
+            raise RuntimeError("plane already built")
+        per_site = nodes_per_site if nodes_per_site is not None else self.config.nodes_per_site
+        self.overlay.create_population(per_site)
+        self.overlay.bootstrap()
+        for node in self.overlay.nodes:
+            self._wire_node(node)
+        for site in self.registry:
+            members = [n for n in self.nodes if n.site.index == site.index]
+            self.admins[site.name] = SiteAdmin(site, members)
+            gateway_refs = self.overlay.gateways.get(site.index, [])
+            if gateway_refs:
+                self.context.set_gateway(site.name, gateway_refs[0].address)
+            elif members:
+                self.context.set_gateway(site.name, members[0].address)
+        self._built = True
+        return self
+
+    def _wire_node(self, node: RBayNode) -> None:
+        scribe = ScribeApplication(self.sim)
+        query_app = QueryApplication(self.context)
+        node.register_app(scribe)
+        node.register_app(query_app)
+        scribe.anycast_visitor = query_app.visit
+        scribe.multicast_handler = SiteAdmin.apply_admin_command
+
+    def add_node(self, site: Site, join_via: Optional[RBayNode] = None) -> RBayNode:
+        """Dynamically add a node (protocol join when ``join_via`` given)."""
+        node = self.overlay.create_node(site)
+        self._wire_node(node)
+        if join_via is not None:
+            self.overlay.join(node, join_via)
+        return node
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[RBayNode]:
+        return self.overlay.nodes  # type: ignore[return-value]
+
+    def site_nodes(self, site_name: str) -> List[RBayNode]:
+        site = self.registry.by_name(site_name)
+        return [n for n in self.nodes if n.site.index == site.index]
+
+    def admin(self, site_name: str) -> SiteAdmin:
+        return self.admins[site_name]
+
+    def make_customer(
+        self,
+        name: str,
+        site_name: str,
+        home: Optional[RBayNode] = None,
+        **kwargs: Any,
+    ) -> Customer:
+        """Create a customer whose query interface lives in ``site_name``."""
+        if home is None:
+            candidates = self.site_nodes(site_name)
+            if not candidates:
+                raise ValueError(f"no nodes at site {site_name}")
+            home = self.streams.stream("customers").choice(candidates)
+        customer = Customer(name, home, self.streams.stream(f"customer-{name}"), **kwargs)
+        self.customers.append(customer)
+        return customer
+
+    # ------------------------------------------------------------------
+    # Operation helpers
+    # ------------------------------------------------------------------
+    def start_maintenance(self) -> None:
+        """Kick off every node's periodic onTimer cycle, de-synchronized."""
+        rng = self.streams.stream("maintenance-jitter")
+        interval = self.config.maintenance_interval_ms
+        for node in self.nodes:
+            node.start_maintenance(
+                interval, jitter_fn=lambda rng=rng: rng.uniform(-0.1, 0.1) * interval
+            )
+
+    def stop_maintenance(self) -> None:
+        for node in self.nodes:
+            node.stop_maintenance()
+
+    def settle(self, duration_ms: float = 1_000.0) -> None:
+        """Run the simulator forward to let joins/aggregates propagate."""
+        self.sim.run(until=self.sim.now + duration_ms)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Convenience for experiments
+    # ------------------------------------------------------------------
+    def random_node(self, rng: Optional[random.Random] = None,
+                    site_name: Optional[str] = None) -> RBayNode:
+        rng = rng if rng is not None else self.streams.stream("random-node")
+        pool = self.nodes if site_name is None else self.site_nodes(site_name)
+        return rng.choice(pool)
+
+    def tree_size(self, topic: str, via: Optional[RBayNode] = None,
+                  scope: Optional[str] = None) -> int:
+        node = via if via is not None else self.nodes[0]
+        return node.scribe.tree_size(node, topic, scope=scope).result()

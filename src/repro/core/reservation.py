@@ -1,0 +1,79 @@
+"""Node reservations with timed release.
+
+Query step 4 "reserves the node for the query"; step 5: "if the customer
+decides not to take them, the locks on those reserved nodes will be
+released after a short time window" (§III-D).  The table is lazy: expiry
+is evaluated against the simulation clock on access, so no timer churn.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+
+#: Default reservation window before an uncommitted lock self-releases (ms).
+DEFAULT_HOLD_MS = 2_000.0
+
+
+class ReservationTable:
+    """Reservation state for a single node."""
+
+    def __init__(self, sim: Simulator, hold_ms: float = DEFAULT_HOLD_MS):
+        self._sim = sim
+        self.hold_ms = hold_ms
+        self._holder: Optional[int] = None  # query id
+        self._expires_at = 0.0
+        self._committed = False
+        self._lease_ends = 0.0
+
+    # ------------------------------------------------------------------
+    def _gc(self) -> None:
+        now = self._sim.now
+        if self._committed and now >= self._lease_ends:
+            self._committed = False
+            self._holder = None
+        if not self._committed and self._holder is not None and now >= self._expires_at:
+            self._holder = None
+
+    def is_free(self) -> bool:
+        self._gc()
+        return self._holder is None
+
+    def holder(self) -> Optional[int]:
+        self._gc()
+        return self._holder
+
+    # ------------------------------------------------------------------
+    def try_reserve(self, query_id: int) -> bool:
+        """Reserve for ``query_id``; idempotent for the same query."""
+        self._gc()
+        if self._holder is not None and self._holder != query_id:
+            return False
+        self._holder = query_id
+        self._committed = False
+        self._expires_at = self._sim.now + self.hold_ms
+        return True
+
+    def commit(self, query_id: int, lease_ms: float) -> bool:
+        """Convert a reservation into a lease (the customer took the node)."""
+        self._gc()
+        if self._holder != query_id:
+            return False
+        self._committed = True
+        self._lease_ends = self._sim.now + lease_ms
+        return True
+
+    def release(self, query_id: int) -> bool:
+        """Explicitly drop a reservation or lease held by ``query_id``."""
+        self._gc()
+        if self._holder != query_id:
+            return False
+        self._holder = None
+        self._committed = False
+        return True
+
+    @property
+    def committed(self) -> bool:
+        self._gc()
+        return self._committed

@@ -1,0 +1,42 @@
+"""Extensions implementing the paper's future-work agenda (§VI).
+
+"Future work will go beyond additional implementation steps to evaluate
+RBay's performance under different levels of churn in resources and
+attribute values, using methods that capture past and predict future
+churn, based on history ... Such factors can also be used to better select
+appropriate resources in response to user queries."
+
+* :mod:`repro.ext.churn` — per-node churn history capture and prediction
+  (EWMA flap rate, availability estimation);
+* :mod:`repro.ext.selection` — QoS-aware result ranking that folds
+  predicted stability into query answers;
+* :mod:`repro.ext.crypto_auth` — the §III-B suggestion of key-pair
+  authentication for AA gets, via an HMAC challenge-response;
+* :mod:`repro.ext.economy` — a Mariposa-style economic layer (§V-C):
+  priced resources, cost-aware purchasing, market accounting.
+"""
+
+from repro.ext.churn import ChurnPredictor, ChurnTracker, NodeChurnHistory
+from repro.ext.crypto_auth import KeyPair, keyed_gate_policy, sign_challenge
+from repro.ext.economy import (
+    CostAwareCustomer,
+    MarketLedger,
+    post_priced_resource,
+    reprice,
+)
+from repro.ext.selection import QoSSelector, StabilityAwareCustomer
+
+__all__ = [
+    "ChurnPredictor",
+    "ChurnTracker",
+    "CostAwareCustomer",
+    "KeyPair",
+    "MarketLedger",
+    "NodeChurnHistory",
+    "QoSSelector",
+    "StabilityAwareCustomer",
+    "keyed_gate_policy",
+    "post_priced_resource",
+    "reprice",
+    "sign_challenge",
+]

@@ -1,0 +1,81 @@
+"""Challenge-response authentication for AA gets (paper §III-B).
+
+"Our current implementation simply passes a plaintext password, but can
+easily be enhanced via encryption primitives involving the AA and
+public/private key pairs.  The node's AA stores the public key, and the
+query authenticates itself by presenting the corresponding private key."
+
+We realize the scheme with keyed-hash (HMAC-SHA256) primitives, which the
+sandbox can verify with string comparison: the gate's AA table stores a
+verification tag per authorized principal; the customer derives the same
+tag from its secret key and the node-issued challenge.  Secrets never
+travel over the network — only tags bound to a specific challenge do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A principal's identity: a public name and a private signing key."""
+
+    principal: str
+    secret: bytes
+
+    @classmethod
+    def generate(cls, principal: str, seed: str) -> "KeyPair":
+        secret = hashlib.sha256(f"keypair:{principal}:{seed}".encode()).digest()
+        return cls(principal, secret)
+
+
+def sign_challenge(keypair: KeyPair, challenge: str) -> str:
+    """The customer-side primitive: tag = HMAC(secret, challenge)."""
+    return hmac.new(keypair.secret, challenge.encode(), hashlib.sha256).hexdigest()
+
+
+def expected_tag(keypair: KeyPair, challenge: str) -> str:
+    """Admin-side: the tag a gate should expect for this principal."""
+    return sign_challenge(keypair, challenge)
+
+
+def keyed_gate_policy(node_id: int, challenge: str,
+                      authorized: Iterable[KeyPair]) -> str:
+    """Luette gate handler verifying challenge-response tags.
+
+    The handler compares the caller-supplied ``payload.tag`` against the
+    expected tag for ``payload.principal``.  Tags are bound to this node's
+    challenge string, so replaying a tag against other nodes fails.
+    """
+    entries = ", ".join(
+        f'["{kp.principal}"] = "{expected_tag(kp, challenge)}"'
+        for kp in authorized
+    )
+    return f"""
+AA = {{NodeId = {node_id},
+      Challenge = "{challenge}",
+      Tags = {{{entries}}}}}
+
+function onGet(caller, payload)
+  if payload == nil or payload.principal == nil or payload.tag == nil then
+    return nil
+  end
+  local expected = AA.Tags[payload.principal]
+  if expected ~= nil and payload.tag == expected then
+    return AA.NodeId
+  end
+  return nil
+end
+"""
+
+
+def auth_payload(keypair: KeyPair, challenge: str) -> dict:
+    """The query payload a customer sends to pass a keyed gate."""
+    return {
+        "principal": keypair.principal,
+        "tag": sign_challenge(keypair, challenge),
+    }

@@ -1,0 +1,165 @@
+"""A Mariposa-style economic layer over RBAY (related work, §V-C).
+
+"Mariposa is a federated database system which uses an economic paradigm
+to integrate the data sources into a computational economy" — and RBAY's
+own marketplace framing ("raise or lower rental prices") invites the same
+treatment.  This module adds:
+
+* price schedules per node, enforced on the owner's side by the standard
+  ``rental_price_policy`` gate (the plane never sees secrets or budgets);
+* a **cost-aware customer** that over-asks, then solves the cheapest-k
+  selection under its budget, releasing everything it does not take;
+* simple market accounting (spend per customer, revenue per site).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.admin import SiteAdmin
+from repro.core.client import Customer
+from repro.core.node import RBayNode
+from repro.core.policies import rental_price_policy
+from repro.query.sql import parse_query
+from repro.sim.futures import Future
+
+#: Attribute under which a node's asking price is published (plain data —
+#: the *enforcement* happens in the gate handler, not in this attribute).
+PRICE_ATTRIBUTE = "asking_price"
+
+#: onDeliver handler keeping the advertised price in sync with admin
+#: repricing multicasts.
+_PRICE_SOURCE = """
+function onDeliver(caller, payload)
+  if payload ~= nil and payload.new_price ~= nil then
+    AA.Value = payload.new_price
+  end
+  return AA.Value
+end
+"""
+
+
+def post_priced_resource(
+    admin: SiteAdmin,
+    node: RBayNode,
+    attribute: str,
+    value: Any,
+    price: float,
+) -> None:
+    """Post a resource with a price: gate enforces budget >= price, and the
+    advertised price is queryable/sortable via ``asking_price``."""
+    admin.set_gate_policy(node, rental_price_policy(node.node_id.value, price))
+    node.define_attribute(PRICE_ATTRIBUTE, float(price), _PRICE_SOURCE)
+    admin.post_resource(node, attribute, value)
+
+
+def reprice(admin: SiteAdmin, via: RBayNode, tree: str, new_price: float) -> None:
+    """Admin-side interactive price change: multicast onDeliver down the
+    tree plus the advertised-price attribute update on delivery."""
+    admin.broadcast_command(via, tree, "access", {"new_price": new_price})
+    # Advertised price follows the enforced price on the same multicast.
+    admin.broadcast_command(via, tree, PRICE_ATTRIBUTE, {"new_price": new_price})
+
+
+class MarketLedger:
+    """Records completed purchases for market-level reporting."""
+
+    def __init__(self):
+        self.purchases: List[Tuple[str, str, int, float]] = []
+
+    def record(self, customer: str, site: str, node_address: int, price: float) -> None:
+        self.purchases.append((customer, site, node_address, price))
+
+    def spend_of(self, customer: str) -> float:
+        return sum(p for c, _, _, p in self.purchases if c == customer)
+
+    def revenue_of(self, site: str) -> float:
+        return sum(p for _, s, _, p in self.purchases if s == site)
+
+    def volume(self) -> int:
+        return len(self.purchases)
+
+
+class CostAwareCustomer(Customer):
+    """Buys the cheapest k nodes that fit inside a total budget.
+
+    The per-node gate still enforces ``budget >= price`` on the owner's
+    side; this class adds client-side shopping: over-ask, sort by advertised
+    price, keep the cheapest k whose sum fits the wallet, release the rest.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        home: RBayNode,
+        rng: random.Random,
+        wallet: float,
+        ledger: Optional[MarketLedger] = None,
+        overask: float = 3.0,
+        **kwargs: Any,
+    ):
+        super().__init__(name, home, rng, **kwargs)
+        self.wallet = wallet
+        self.ledger = ledger
+        self.overask = overask
+
+    def buy(
+        self,
+        sql: str,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Run a purchase; resolves to a QueryResult holding the kept nodes.
+
+        The query's GROUPBY is forced to ``asking_price ASC`` so entries
+        come back priced, and the per-node payload carries the *per-node*
+        budget ceiling (the wallet — owners only check affordability).
+        """
+        query = parse_query(sql)
+        wanted = query.k
+        if wanted is not None:
+            query.k = max(wanted, int(wanted * self.overask))
+        query.order_by = PRICE_ATTRIBUTE
+        query.descending = False
+        payload = {"budget": self.wallet}
+        future = self._query_app.execute(self.home, query, payload=payload,
+                                         caller=self.name, timeout=timeout)
+        done = Future(self.home.sim, timeout=timeout)
+
+        def _shop(result: Any) -> None:
+            if isinstance(result, Exception):
+                done.try_resolve(result)
+                return
+            kept: List[Dict[str, Any]] = []
+            total = 0.0
+            surplus: List[Dict[str, Any]] = []
+            for entry in result.entries:  # already cheapest-first
+                price = float(entry.get("order_value") or 0.0)
+                if (wanted is None or len(kept) < wanted) and total + price <= self.wallet:
+                    kept.append(entry)
+                    total += price
+                else:
+                    surplus.append(entry)
+            for entry in surplus:
+                self.home.send_app(entry["address"], "query", "release",
+                                   {"query_id": result.query_id})
+            result.entries = kept
+            result.requested = wanted
+            result.satisfied = wanted is None or len(kept) >= wanted
+            if result.satisfied:
+                self.wallet -= total
+                if self.ledger is not None:
+                    for entry in kept:
+                        self.ledger.record(self.name, entry["site"],
+                                           entry["address"],
+                                           float(entry.get("order_value") or 0.0))
+            else:
+                # Could not afford / fill: release the kept ones too.
+                for entry in kept:
+                    self.home.send_app(entry["address"], "query", "release",
+                                       {"query_id": result.query_id})
+                result.entries = []
+            done.try_resolve(result)
+
+        future.add_callback(_shop)
+        return done

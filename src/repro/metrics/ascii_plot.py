@@ -1,0 +1,72 @@
+"""Terminal plotting for benchmark output: CDFs and bar series.
+
+The paper's figures are line/CDF plots; benchmarks print their data as
+tables plus these ASCII renderings so the shape is visible straight from
+``pytest -s`` output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.stats import cdf_points
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "ms",
+) -> str:
+    """Render one or more CDFs on a shared axis.
+
+    Each series gets a marker character; the legend maps markers to labels.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("series are empty")
+    x_min, x_max = min(all_values), max(all_values)
+    span = max(x_max - x_min, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for value, fraction in cdf_points(list(values)):
+            col = int((value - x_min) / span * (width - 1))
+            row = height - 1 - int(fraction * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        fraction = 1.0 - i / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{x_min:.0f}{x_label}"
+    right = f"{x_max:.0f}{x_label}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append("      " + left + " " * pad + right)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(sorted(series)))
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: List[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart for (label, value) rows."""
+    if not rows:
+        raise ValueError("no rows to plot")
+    peak = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * (int(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Deep memory sizing for the Figure 8c comparison.
+
+``sys.getsizeof`` is shallow; :func:`deep_sizeof` walks containers and
+object attributes, visiting each object once, to approximate the resident
+footprint of an attribute store.  Interned/shared objects (compiled chunk
+ASTs, the shared sandbox) are naturally counted once across a whole store,
+mirroring how a real runtime shares bytecode.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Optional, Set
+
+
+def deep_sizeof(obj: Any, seen: Optional[Set[int]] = None) -> int:
+    """Recursive ``getsizeof`` with cycle/shared-object protection."""
+    if seen is None:
+        seen = set()
+    identity = id(obj)
+    if identity in seen:
+        return 0
+    seen.add(identity)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(
+            deep_sizeof(k, seen) + deep_sizeof(v, seen) for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_sizeof(item, seen) for item in obj)
+    elif isinstance(obj, (str, bytes, bytearray, int, float, complex, bool)):
+        pass  # leaf
+    else:
+        if hasattr(obj, "__dict__"):
+            size += deep_sizeof(vars(obj), seen)
+        slots = getattr(type(obj), "__slots__", None)
+        if slots:
+            for name in slots if not isinstance(slots, str) else (slots,):
+                if hasattr(obj, name):
+                    size += deep_sizeof(getattr(obj, name), seen)
+    return size
+
+
+def deep_sizeof_many(objects: Iterable[Any]) -> int:
+    """Total deep size of several objects, counting shared state once."""
+    seen: Set[int] = set()
+    return sum(deep_sizeof(obj, seen) for obj in objects)

@@ -1,0 +1,126 @@
+"""Summary statistics used by every experiment.
+
+Implemented here rather than pulled from numpy so the core library stays
+dependency-free; the benchmark harness may still use numpy for plotting-
+oriented post-processing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation over mean (undefined for zero mean)."""
+    mu = mean(values)
+    if mu == 0:
+        raise ValueError("CV undefined for zero mean")
+    return stddev(values) / mu
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly even load distribution."""
+    if not values:
+        raise ValueError("fairness of empty sequence")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+class LatencyRecorder:
+    """Collects latency samples per label and summarizes them."""
+
+    def __init__(self):
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, label: str, value_ms: float) -> None:
+        self._samples.setdefault(label, []).append(value_ms)
+
+    def samples(self, label: str) -> List[float]:
+        return list(self._samples.get(label, ()))
+
+    def labels(self) -> List[str]:
+        return sorted(self._samples)
+
+    def count(self, label: str) -> int:
+        return len(self._samples.get(label, ()))
+
+    def summary(self, label: str) -> Dict[str, float]:
+        """Count/mean/std/min/p50/p90/p99/max for one label."""
+        values = self._samples.get(label)
+        if not values:
+            raise KeyError(f"no samples for label {label!r}")
+        return {
+            "count": float(len(values)),
+            "mean": mean(values),
+            "std": stddev(values),
+            "min": min(values),
+            "p50": percentile(values, 50),
+            "p90": percentile(values, 90),
+            "p99": percentile(values, 99),
+            "max": max(values),
+        }
+
+    def cdf(self, label: str) -> List[Tuple[float, float]]:
+        return cdf_points(self._samples.get(label, ()))
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        for label, values in other._samples.items():
+            self._samples.setdefault(label, []).extend(values)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table for benchmark output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Simulated wide-area network substrate.
+
+Models the eight-site Amazon EC2 testbed of the paper: sites with intra-site
+latencies around 0.5 ms and inter-site latencies taken from the paper's
+Table II.  Hosts attach to a :class:`Network` and exchange :class:`Message`
+objects whose delivery delay is drawn from the latency model.
+"""
+
+from repro.net.latency import (
+    EC2_RTT_MS,
+    EC2_SITES,
+    LatencyModel,
+    TableIILatencyModel,
+    UniformLatencyModel,
+)
+from repro.net.message import Message
+from repro.net.network import Host, Network
+from repro.net.site import Site
+
+__all__ = [
+    "EC2_RTT_MS",
+    "EC2_SITES",
+    "Host",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "Site",
+    "TableIILatencyModel",
+    "UniformLatencyModel",
+]

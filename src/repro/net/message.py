@@ -1,0 +1,80 @@
+"""Network messages.
+
+Messages carry a ``kind`` tag dispatched by the receiving host, an arbitrary
+payload dict, and bookkeeping used by the experiments: hop counts, the
+originating query id, and an approximate wire size so benchmarks can account
+for bandwidth at hot spots (e.g. the Ganglia master ablation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_msg_ids = itertools.count(1)
+
+
+def _estimate_size(value: Any) -> int:
+    """Rough serialized size in bytes (protocol framing ignored).
+
+    Deliberately simple and deterministic: strings count their UTF-8 bytes,
+    numbers a fixed 8, containers recurse.  Good enough for comparing
+    bandwidth *ratios* between designs, which is all the ablations need.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(_estimate_size(k) + _estimate_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_estimate_size(v) for v in value)
+    return 16
+
+
+@dataclass
+class Message:
+    """A simulated datagram.
+
+    Attributes
+    ----------
+    kind:
+        Dispatch tag, e.g. ``"pastry.route"`` or ``"scribe.join"``.
+    payload:
+        Free-form contents.
+    src / dst:
+        Host addresses, filled in by :meth:`Network.send`.
+    hops:
+        Overlay hops taken so far (incremented by routing layers, not by the
+        network itself — one network send may be one overlay hop).
+    trace:
+        Optional list of host addresses visited, populated when tracing is on.
+    """
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    hops: int = 0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    trace: Optional[list] = None
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of this message."""
+        return 24 + _estimate_size(self.kind) + _estimate_size(self.payload)
+
+    def fork(self, **payload_updates: Any) -> "Message":
+        """Copy for re-forwarding: same kind/payload, fresh id, src/dst reset."""
+        payload = dict(self.payload)
+        payload.update(payload_updates)
+        return Message(
+            kind=self.kind,
+            payload=payload,
+            hops=self.hops,
+            trace=None if self.trace is None else list(self.trace),
+        )

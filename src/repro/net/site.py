@@ -1,0 +1,55 @@
+"""Sites: autonomous administrative domains (the paper's datacenters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Site:
+    """A geographic / administrative site participating in the federation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable site name ("Virginia", "Tokyo", ...).
+    region:
+        Coarse geographic region used for reporting ("US", "EU", "Asia", "SA").
+    index:
+        Dense integer id; doubles as the row/column into the RTT matrix.
+    """
+
+    name: str
+    region: str
+    index: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class SiteRegistry:
+    """Orders sites and resolves them by name or index."""
+
+    sites: list = field(default_factory=list)
+
+    def add(self, name: str, region: str) -> Site:
+        site = Site(name=name, region=region, index=len(self.sites))
+        self.sites.append(site)
+        return site
+
+    def by_name(self, name: str) -> Site:
+        """Resolve a site by its name (KeyError if unknown)."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise KeyError(f"unknown site: {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __iter__(self):
+        return iter(self.sites)
+
+    def __getitem__(self, index: int) -> Site:
+        return self.sites[index]

@@ -1,0 +1,27 @@
+"""From-scratch Pastry DHT (Rowstron & Druschel, Middleware '01).
+
+Provides the O(log N) key-based routing substrate RBAY builds on: 128-bit
+NodeIds assigned by hashing, prefix-based routing tables (base ``2^b`` with
+the paper's typical ``b = 4``), leaf sets for the numerically-nearest
+neighborhood, and application upcalls (``deliver`` / ``forward``) that let
+Scribe intercept messages along routes.
+"""
+
+from repro.pastry.leafset import LeafSet
+from repro.pastry.node import Application, NodeRef, PastryNode
+from repro.pastry.nodeid import BASE, BITS, DIGITS, NodeId
+from repro.pastry.overlay import Overlay
+from repro.pastry.routing_table import RoutingTable
+
+__all__ = [
+    "Application",
+    "BASE",
+    "BITS",
+    "DIGITS",
+    "LeafSet",
+    "NodeId",
+    "NodeRef",
+    "Overlay",
+    "PastryNode",
+    "RoutingTable",
+]

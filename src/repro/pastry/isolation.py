@@ -1,0 +1,93 @@
+"""Administrative isolation helpers (paper §III-E).
+
+Isolation has two halves:
+
+* **site-scoped routing state** — each node carries a second leaf set and
+  routing table restricted to its own site, so messages routed with
+  ``scope="site"`` converge at the site-local root (the paper's virtual
+  node at the site boundary) and never leave the site;
+* **boundary routers (gateways)** — designated nodes per site that carry
+  cross-site queries, so global lookups traverse a controlled hand-off
+  instead of arbitrary internal nodes.
+
+The :class:`IsolationManager` owns gateway election and the site-root
+oracle used by tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.pastry.node import PastryNode
+from repro.pastry.nodeid import NodeId
+from repro.pastry.routing_table import NodeRef
+
+#: Gateways elected per site by default (primary + backup).
+DEFAULT_GATEWAYS_PER_SITE = 2
+
+
+class IsolationManager:
+    """Site-boundary bookkeeping for a node population."""
+
+    def __init__(self, gateways_per_site: int = DEFAULT_GATEWAYS_PER_SITE):
+        if gateways_per_site < 1:
+            raise ValueError("need at least one gateway per site")
+        self.gateways_per_site = gateways_per_site
+        #: site index -> ordered gateway refs (primary first).
+        self.gateways: Dict[int, List[NodeRef]] = {}
+
+    # ------------------------------------------------------------------
+    def elect_gateways(self, nodes: Sequence[PastryNode]) -> Dict[int, List[NodeRef]]:
+        """(Re-)elect boundary routers: the lowest live NodeIds per site.
+
+        Deterministic, so every participant that knows the membership
+        elects the same routers without coordination.
+        """
+        by_site: Dict[int, List[PastryNode]] = {}
+        for node in nodes:
+            if node.alive:
+                by_site.setdefault(node.site.index, []).append(node)
+        self.gateways = {}
+        for site_index, members in by_site.items():
+            members.sort(key=lambda n: n.node_id.value)
+            self.gateways[site_index] = [
+                NodeRef(n.node_id, n.address, n.site.index, 0.0)
+                for n in members[: self.gateways_per_site]
+            ]
+        return self.gateways
+
+    def gateway(self, site_index: int, rank: int = 0) -> Optional[NodeRef]:
+        """The rank-th boundary router of a site (0 = primary)."""
+        refs = self.gateways.get(site_index, [])
+        return refs[rank] if rank < len(refs) else None
+
+    def live_gateway(self, site_index: int, network) -> Optional[NodeRef]:
+        """The first still-reachable router for a site (failover)."""
+        for ref in self.gateways.get(site_index, []):
+            if network.has_host(ref.address):
+                return ref
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def site_root(nodes: Sequence[PastryNode], site_index: int, key: NodeId) -> PastryNode:
+        """The virtual boundary node for ``key`` inside one site: the live
+        site member whose NodeId is numerically closest (paper §III-E)."""
+        members = [n for n in nodes if n.site.index == site_index and n.alive]
+        if not members:
+            raise LookupError(f"no live nodes at site index {site_index}")
+        return min(members, key=lambda n: (n.node_id.distance(key), n.node_id.value))
+
+    @staticmethod
+    def verify_site_confinement(nodes: Sequence[PastryNode], topic: str) -> bool:
+        """Check the §III-E security property for one site-scoped topic:
+        no tree state for it exists outside the members' site."""
+        sites_with_state = set()
+        for node in nodes:
+            scribe = node.apps.get("scribe")
+            if scribe is None:
+                continue
+            state = scribe.topics().get(topic)
+            if state is not None and state.in_tree():
+                sites_with_state.add(node.site.index)
+        return len(sites_with_state) <= 1

@@ -1,0 +1,103 @@
+"""The Pastry prefix routing table.
+
+Row ``r`` holds nodes whose ids share exactly ``r`` leading digits with the
+owner; column ``c`` within a row holds a node whose digit ``r`` is ``c``.
+Per the paper (§II-B1) each entry records the peer's address, latency
+(proximity), and NodeId; when several candidates compete for a slot the
+closest by proximity wins (Pastry's locality property).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.pastry.nodeid import BASE, DIGITS, NodeId
+
+
+class NodeRef:
+    """A lightweight pointer to a remote node: id + address + proximity."""
+
+    __slots__ = ("node_id", "address", "site_index", "proximity_ms")
+
+    def __init__(self, node_id: NodeId, address: int, site_index: int, proximity_ms: float = 0.0):
+        self.node_id = node_id
+        self.address = address
+        self.site_index = site_index
+        self.proximity_ms = proximity_ms
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NodeRef) and other.address == self.address
+
+    def __hash__(self) -> int:
+        return hash(self.address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeRef({self.node_id.hex()[:8]}…, addr={self.address})"
+
+
+class RoutingTable:
+    """Sparse DIGITS×BASE table of :class:`NodeRef` entries."""
+
+    def __init__(self, owner_id: NodeId):
+        self.owner_id = owner_id
+        # Rows allocated lazily: most of the 32 rows stay empty in practice
+        # (only ~log_16(N) rows are populated).
+        self._rows: List[Optional[List[Optional[NodeRef]]]] = [None] * DIGITS
+
+    # ------------------------------------------------------------------
+    def _row(self, r: int, create: bool = False) -> Optional[List[Optional[NodeRef]]]:
+        row = self._rows[r]
+        if row is None and create:
+            row = [None] * BASE
+            self._rows[r] = row
+        return row
+
+    def entry(self, row: int, col: int) -> Optional[NodeRef]:
+        r = self._row(row)
+        return None if r is None else r[col]
+
+    def add(self, ref: NodeRef) -> bool:
+        """Insert ``ref``; returns True if it was stored (new or closer)."""
+        if ref.node_id == self.owner_id:
+            return False
+        row_idx = self.owner_id.shared_prefix_len(ref.node_id)
+        if row_idx >= DIGITS:
+            return False
+        col = ref.node_id.digit(row_idx)
+        row = self._row(row_idx, create=True)
+        current = row[col]
+        if current is None or ref.proximity_ms < current.proximity_ms:
+            row[col] = ref
+            return True
+        return False
+
+    def remove(self, address: int) -> bool:
+        """Drop any entry pointing at ``address`` (failure handling)."""
+        removed = False
+        for row in self._rows:
+            if row is None:
+                continue
+            for col, ref in enumerate(row):
+                if ref is not None and ref.address == address:
+                    row[col] = None
+                    removed = True
+        return removed
+
+    # ------------------------------------------------------------------
+    def next_hop(self, key: NodeId) -> Optional[NodeRef]:
+        """The classic Pastry lookup: the entry matching one more digit of key."""
+        row_idx = self.owner_id.shared_prefix_len(key)
+        if row_idx >= DIGITS:
+            return None
+        return self.entry(row_idx, key.digit(row_idx))
+
+    def entries(self) -> Iterator[NodeRef]:
+        for row in self._rows:
+            if row is None:
+                continue
+            for ref in row:
+                if ref is not None:
+                    yield ref
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())

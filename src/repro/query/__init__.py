@@ -1,0 +1,24 @@
+"""The SQL-like query interface and five-step execution protocol (§III-D).
+
+``SELECT k FROM * WHERE CPU_model = "Intel Core i7" AND CPU_utilization <
+10% GROUPBY CPU_utilization DESC`` is parsed into a :class:`Query`; the
+executor probes candidate tree sizes, anycasts the smaller tree with a
+k-entry buffer, lets each member run its predicate + AA authorization
+checks, reserves the accepted nodes, and commits or releases at the end.
+"""
+
+from repro.query.backoff import TruncatedExponentialBackoff
+from repro.query.executor import QueryApplication, QueryResult
+from repro.query.predicates import Predicate, evaluate
+from repro.query.sql import Query, SQLSyntaxError, parse_query
+
+__all__ = [
+    "Predicate",
+    "Query",
+    "QueryApplication",
+    "QueryResult",
+    "SQLSyntaxError",
+    "TruncatedExponentialBackoff",
+    "evaluate",
+    "parse_query",
+]

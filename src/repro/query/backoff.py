@@ -1,0 +1,47 @@
+"""Truncated exponential backoff for query conflicts (paper §III-D).
+
+"After c fails, a random number of slot times between 0 and 2^c - 1 is
+chosen" — aggressive customers accumulate failures and back off for longer,
+which both avoids the deadlock scenario and biases access toward less
+aggressive customers.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class TruncatedExponentialBackoff:
+    """Computes re-query delays; one instance per in-flight customer request."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        slot_ms: float = 100.0,
+        max_exponent: int = 10,
+        max_attempts: int = 16,
+    ):
+        if slot_ms <= 0:
+            raise ValueError("slot_ms must be positive")
+        if max_exponent < 1:
+            raise ValueError("max_exponent must be >= 1")
+        self._rng = rng
+        self.slot_ms = slot_ms
+        self.max_exponent = max_exponent
+        self.max_attempts = max_attempts
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+
+    def exhausted(self) -> bool:
+        return self.failures >= self.max_attempts
+
+    def next_delay_ms(self) -> float:
+        """Delay before the next re-query, given the failures so far."""
+        exponent = min(max(self.failures, 1), self.max_exponent)
+        slots = self._rng.randint(0, (1 << exponent) - 1)
+        return slots * self.slot_ms
+
+    def reset(self) -> None:
+        self.failures = 0

@@ -1,0 +1,454 @@
+"""The five-step query protocol (paper §III-D, Figure 7) plus federation.
+
+Per site the executor (1) sends size probes to the roots of each candidate
+tree, (2) collects the sizes, (3) anycasts a k-entry buffer into the
+smallest tree, (4) lets every visited member run predicate checks and its
+AA ``onGet`` authorization, reserving accepted nodes, and (5) returns the
+filled buffer to the query interface, which commits the chosen nodes and
+releases the rest.
+
+For multi-site queries the interface fans out to each target site's
+boundary router ("gateway", §III-E) in parallel; the user-observed latency
+is therefore the RTT to the most remote site plus that site's local query
+time — exactly the structure the paper uses to explain Figure 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # avoid the core <-> query.executor import cycle
+    from repro.core.naming import AttributeHierarchy
+    from repro.core.node import RBayNode
+from repro.pastry.node import Application
+from repro.query.predicates import Predicate
+from repro.query.sql import Query
+from repro.sim.engine import Simulator
+from repro.sim.futures import Future, FutureTimeout, gather
+
+_query_ids = itertools.count(1)
+_request_ids = itertools.count(1)
+
+#: Cap used for "SELECT *" queries so anycast buffers stay bounded.
+UNBOUNDED_K = 1_000_000
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution (a single attempt, before backoff)."""
+
+    query_id: int
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+    requested: Optional[int] = None
+    satisfied: bool = False
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    sites_queried: List[str] = field(default_factory=list)
+    sites_answered: List[str] = field(default_factory=list)
+    tree_sizes: Dict[str, int] = field(default_factory=dict)
+    #: Members visited by the anycast DFS, across all sites (protocol cost).
+    visited_members: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.finished_at - self.started_at
+
+    def node_ids(self) -> List[int]:
+        return [entry["node_id"] for entry in self.entries]
+
+
+class QueryContext:
+    """Federation-wide knowledge shared by every query interface.
+
+    Holds what the paper distributes out-of-band: the site list, each
+    site's boundary routers, and the hybrid naming catalog.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_names: List[str],
+        hierarchy: Optional["AttributeHierarchy"] = None,
+        lease_ms: float = 60_000.0,
+        site_timeout_ms: float = 10_000.0,
+        probe_timeout_ms: float = 5_000.0,
+        tree_scope: str = "site",
+    ):
+        from repro.core.naming import AttributeHierarchy  # lazy: avoids cycle
+
+        self.sim = sim
+        self.site_names = list(site_names)
+        self.hierarchy = hierarchy if hierarchy is not None else AttributeHierarchy()
+        self.gateways: Dict[str, int] = {}  # site name -> gateway address
+        self.lease_ms = lease_ms
+        self.site_timeout_ms = site_timeout_ms
+        self.probe_timeout_ms = probe_timeout_ms
+        #: Routing scope for the per-site attribute trees: "site" keeps
+        #: rendezvous inside each site (administrative isolation, §III-E);
+        #: "global" is the isolation-off ablation mode.
+        self.tree_scope = tree_scope
+
+    def set_gateway(self, site_name: str, address: int) -> None:
+        self.gateways[site_name] = address
+
+    def candidate_trees(self, predicate: Predicate) -> List[str]:
+        """Tree names to search for one predicate (hybrid expansion)."""
+        from repro.core.naming import predicate_tree_name  # lazy: avoids cycle
+
+        base = predicate_tree_name(predicate.attribute, predicate.op, predicate.value)
+        if self.hierarchy.is_known(base):
+            return self.hierarchy.expand(base)
+        return [base]
+
+
+class QueryApplication(Application):
+    """Per-node query machinery: coordinator, site executor, lock control."""
+
+    name = "query"
+
+    def __init__(self, context: QueryContext):
+        self.context = context
+        self._pending: Dict[int, Future] = {}
+
+    # ------------------------------------------------------------------
+    # Coordinator (the "query interface" near the customer)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        node: "RBayNode",
+        query: Query,
+        payload: Optional[Dict[str, Any]] = None,
+        caller: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Run ``query`` from ``node``; resolves to a :class:`QueryResult`."""
+        sim = self.context.sim
+        query_id = next(_query_ids)
+        result = QueryResult(
+            query_id=query_id,
+            requested=query.k,
+            started_at=sim.now,
+        )
+        target_sites = query.sites if query.sites is not None else self.context.site_names
+        result.sites_queried = list(target_sites)
+        done = Future(sim, timeout=timeout)
+
+        site_futures: List[Future] = []
+        answered: List[str] = []
+        for site_name in target_sites:
+            if site_name == node.site.name:
+                future = self._run_site(node, query_id, query, payload, caller)
+            else:
+                gateway = self.context.gateways.get(site_name)
+                if gateway is None:
+                    continue
+                future = self._ask_remote_site(node, gateway, query_id, query, payload, caller)
+            future.add_callback(self._tag_site(answered, site_name))
+            site_futures.append(future)
+
+        def _merge(site_results: Any) -> None:
+            if isinstance(site_results, FutureTimeout):
+                site_results = []
+            entries: List[Dict[str, Any]] = []
+            for site_result in site_results:
+                if isinstance(site_result, FutureTimeout) or site_result is None:
+                    continue
+                entries.extend(site_result.get("entries", []))
+                result.tree_sizes.update(site_result.get("tree_sizes", {}))
+                result.visited_members += site_result.get("visited", 0)
+            selected, rejected = self._select(query, entries)
+            satisfied = query.k is None or len(selected) >= query.k
+            if satisfied:
+                self._settle_locks(node, query_id, selected, rejected)
+            else:
+                # A short query commits nothing: every reservation is
+                # released so a re-query (ours or a competitor's) can win.
+                self._settle_locks(node, query_id, [], selected + rejected)
+            result.entries = selected
+            result.satisfied = satisfied
+            result.sites_answered = list(answered)
+            result.finished_at = sim.now
+            done.try_resolve(result)
+
+        gather(sim, site_futures, timeout=self.context.site_timeout_ms).add_callback(_merge)
+        return done
+
+    @staticmethod
+    def _tag_site(answered: List[str], site_name: str):
+        def _cb(value: Any) -> None:
+            if not isinstance(value, FutureTimeout) and value is not None:
+                answered.append(site_name)
+
+        return _cb
+
+    def _select(self, query: Query, entries: List[Dict[str, Any]]):
+        """Order candidates (GROUPBY) and split into taken / surplus."""
+        deduped: Dict[int, Dict[str, Any]] = {}
+        for entry in entries:
+            deduped.setdefault(entry["address"], entry)
+        ordered = list(deduped.values())
+        if query.order_by:
+            ordered.sort(
+                key=lambda e: self._order_key(e.get("order_value")),
+                reverse=query.descending,
+            )
+        cutoff = len(ordered) if query.k is None else query.k
+        return ordered[:cutoff], ordered[cutoff:]
+
+    @staticmethod
+    def _order_key(value: Any):
+        # Missing values order last regardless of direction.
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (0, float(value), "")
+        if isinstance(value, str):
+            return (1, 0.0, value)
+        return (2, 0.0, "")
+
+    def _settle_locks(self, node: "RBayNode", query_id: int,
+                      selected: List[Dict[str, Any]], rejected: List[Dict[str, Any]]) -> None:
+        for entry in selected:
+            node.send_app(entry["address"], self.name, "commit", {
+                "query_id": query_id, "lease_ms": self.context.lease_ms,
+            })
+        for entry in rejected:
+            node.send_app(entry["address"], self.name, "release", {"query_id": query_id})
+
+    # ------------------------------------------------------------------
+    # Remote fan-out
+    # ------------------------------------------------------------------
+    def _ask_remote_site(self, node: "RBayNode", gateway: int, query_id: int,
+                         query: Query, payload: Optional[Dict[str, Any]],
+                         caller: Optional[str]) -> Future:
+        request_id = next(_request_ids)
+        future = Future(self.context.sim, timeout=self.context.site_timeout_ms)
+        self._pending[request_id] = future
+        node.send_app(gateway, self.name, "site_query", {
+            "request_id": request_id,
+            "query_id": query_id,
+            "k": query.k,
+            "where": [[p.pack() for p in conjunction] for conjunction in query.where],
+            "order_by": query.order_by,
+            "payload": payload,
+            "caller": caller,
+            "origin": node.address,
+        })
+        return future
+
+    # ------------------------------------------------------------------
+    # Site executor (steps 1-5 inside one site)
+    # ------------------------------------------------------------------
+    def _run_site(self, node: "RBayNode", query_id: int, query: Query,
+                  payload: Optional[Dict[str, Any]], caller: Optional[str]) -> Future:
+        return self._site_query_dnf(
+            node, query_id,
+            k=query.k,
+            where=[list(conjunction) for conjunction in query.where],
+            order_by=query.order_by,
+            payload=payload,
+            caller=caller,
+        )
+
+    def _site_query_dnf(self, node: "RBayNode", query_id: int, k: Optional[int],
+                        where: List[List[Predicate]], order_by: Optional[str],
+                        payload: Optional[Dict[str, Any]],
+                        caller: Optional[str]) -> Future:
+        """Run each disjunct of a DNF WHERE clause and union the results.
+
+        A node satisfying several disjuncts appears once (reservations are
+        per-query, so re-visits are idempotent).
+        """
+        sim = self.context.sim
+        if len(where) <= 1:
+            return self._site_query(node, query_id, k,
+                                    where[0] if where else [],
+                                    order_by, payload, caller)
+        done = Future(sim)
+        branches = [
+            self._site_query(node, query_id, k, conjunction, order_by,
+                             payload, caller)
+            for conjunction in where
+        ]
+
+        def _union(results: Any) -> None:
+            if isinstance(results, FutureTimeout):
+                results = []
+            entries: Dict[int, Dict[str, Any]] = {}
+            tree_sizes: Dict[str, int] = {}
+            visited = 0
+            for branch in results:
+                if isinstance(branch, FutureTimeout) or branch is None:
+                    continue
+                for entry in branch.get("entries", []):
+                    entries.setdefault(entry["address"], entry)
+                tree_sizes.update(branch.get("tree_sizes", {}))
+                visited += branch.get("visited", 0)
+            done.try_resolve({"entries": list(entries.values()),
+                              "tree_sizes": tree_sizes, "visited": visited})
+
+        gather(sim, branches, timeout=self.context.site_timeout_ms).add_callback(_union)
+        return done
+
+    def _site_query(self, node: "RBayNode", query_id: int, k: Optional[int],
+                    predicates: List[Predicate], order_by: Optional[str],
+                    payload: Optional[Dict[str, Any]], caller: Optional[str]) -> Future:
+        from repro.core.naming import site_tree  # lazy: avoids cycle
+
+        sim = self.context.sim
+        done = Future(sim)
+        site_name = node.site.name
+        if not predicates:
+            sim.call_soon(done.try_resolve, {"entries": [], "tree_sizes": {},
+                                             "visited": 0})
+            return done
+
+        # Steps 1-2: probe sizes of every candidate tree, grouped by the
+        # predicate it serves.
+        groups: List[List[str]] = [
+            [site_tree(site_name, t) for t in self.context.candidate_trees(p)]
+            for p in predicates
+        ]
+        flat = [topic for group in groups for topic in group]
+        probes = [
+            node.scribe.tree_size(node, topic, timeout=self.context.probe_timeout_ms,
+                                  scope=self.context.tree_scope)
+            for topic in flat
+        ]
+
+        def _after_probe(sizes: Any) -> None:
+            if isinstance(sizes, FutureTimeout):
+                sizes = [0] * len(flat)
+            size_of = {}
+            for topic, size in zip(flat, sizes):
+                size_of[topic] = 0 if isinstance(size, FutureTimeout) else int(size or 0)
+            # Step 3: pick the predicate whose tree family is smallest.
+            totals = [sum(size_of[t] for t in group) for group in groups]
+            best_index: Optional[int] = None
+            for index, total in enumerate(totals):
+                if total <= 0:
+                    continue
+                if best_index is None or total < totals[best_index]:
+                    best_index = index
+            if best_index is None:
+                done.try_resolve({"entries": [], "tree_sizes": size_of,
+                                  "visited": 0})
+                return
+            topics = sorted(groups[best_index], key=lambda t: size_of[t])
+            topics = [t for t in topics if size_of[t] > 0]
+            # Tree membership *implies* the chosen predicate (that is what
+            # the tree indexes), so members re-check only the remaining
+            # predicates — the paper's step 4i checks "if its node has less
+            # CPU utilization", not the instance-type the tree already
+            # encodes.  Re-check the chosen predicate anyway when its
+            # attribute is present locally (guards against stale
+            # membership between maintenance ticks).
+            local_predicates = []
+            for index, predicate in enumerate(predicates):
+                if index == best_index:
+                    local_predicates.append((predicate.pack(), True))
+                else:
+                    local_predicates.append((predicate.pack(), False))
+            state = {
+                "kind": "query",
+                "query_id": query_id,
+                "k": k if k is not None else UNBOUNDED_K,
+                "caller": caller,
+                "payload": payload,
+                "predicates": local_predicates,
+                "order_by": order_by,
+                "entries": [],
+            }
+            self._anycast_chain(node, topics, state, size_of, done)
+
+        gather(sim, probes, timeout=self.context.probe_timeout_ms).add_callback(_after_probe)
+        return done
+
+    def _anycast_chain(self, node: "RBayNode", topics: List[str], state: Dict[str, Any],
+                       tree_sizes: Dict[str, int], done: Future) -> None:
+        """Step 4: anycast trees in ascending-size order until k filled."""
+        if not topics or len(state["entries"]) >= state["k"]:
+            done.try_resolve({"entries": state["entries"], "tree_sizes": tree_sizes,
+                              "visited": state.get("visited_total", 0)})
+            return
+        topic, rest = topics[0], topics[1:]
+
+        def _next(result: Any) -> None:
+            if not isinstance(result, FutureTimeout) and result is not None:
+                state["entries"] = result.get("entries", state["entries"])
+                state["visited_total"] = (state.get("visited_total", 0)
+                                          + result.get("visited_members", 0))
+            self._anycast_chain(node, rest, state, tree_sizes, done)
+
+        node.scribe.anycast(node, topic, state,
+                            timeout=self.context.site_timeout_ms,
+                            scope=self.context.tree_scope).add_callback(_next)
+
+    # ------------------------------------------------------------------
+    # Anycast visitor (runs at each visited member; wired by the plane)
+    # ------------------------------------------------------------------
+    def visit(self, node: "RBayNode", topic: str, state: Dict[str, Any]) -> bool:
+        """Per-member step 4: predicates + AA authorization + reservation."""
+        if state.get("kind") != "query":
+            return False
+        strict: List[Predicate] = []
+        implied: List[Predicate] = []
+        for packed in state["predicates"]:
+            if isinstance(packed, (list, tuple)) and len(packed) == 2 and isinstance(packed[1], bool):
+                packed_pred, is_implied = packed
+                (implied if is_implied else strict).append(Predicate.unpack(packed_pred))
+            else:
+                strict.append(Predicate.unpack(packed))
+        entry = node.consider_for_query(
+            state["query_id"], state.get("caller"), strict, state.get("payload"),
+            implied=implied,
+        )
+        if entry is not None:
+            order_by = state.get("order_by")
+            if order_by:
+                entry["order_value"] = node.attribute_value(order_by)
+            state["entries"].append(entry)
+        return len(state["entries"]) >= state["k"]
+
+    # ------------------------------------------------------------------
+    # Direct messages
+    # ------------------------------------------------------------------
+    def host_message(self, node: "RBayNode", msg: Message) -> None:
+        """Direct query traffic: site fan-out, results, lock control."""
+        kind = msg.payload["kind"]
+        data = msg.payload["data"]
+        if kind == "site_query":
+            where = [
+                [Predicate.unpack(p) for p in conjunction]
+                for conjunction in data["where"]
+            ]
+            future = self._site_query_dnf(
+                node, data["query_id"], data["k"], where,
+                data.get("order_by"), data.get("payload"), data.get("caller"),
+            )
+
+            def _reply(site_result: Any) -> None:
+                if isinstance(site_result, FutureTimeout) or site_result is None:
+                    site_result = {"entries": [], "tree_sizes": {}, "visited": 0}
+                node.send_app(data["origin"], self.name, "site_result", {
+                    "request_id": data["request_id"],
+                    "entries": site_result["entries"],
+                    "tree_sizes": site_result["tree_sizes"],
+                    "visited": site_result.get("visited", 0),
+                })
+
+            future.add_callback(_reply)
+        elif kind == "site_result":
+            future = self._pending.pop(data["request_id"], None)
+            if future is not None:
+                future.try_resolve({
+                    "entries": data["entries"],
+                    "tree_sizes": data["tree_sizes"],
+                    "visited": data.get("visited", 0),
+                })
+        elif kind == "commit":
+            node.reservation.commit(data["query_id"], data["lease_ms"])
+        elif kind == "release":
+            node.reservation.release(data["query_id"])

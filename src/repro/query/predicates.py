@@ -1,0 +1,75 @@
+"""Query predicates: comparisons against a node's attribute values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+_OPS = ("=", "==", "<>", "!=", "<", "<=", ">", ">=")
+
+
+def evaluate(actual: Any, op: str, expected: Any) -> bool:
+    """Evaluate one comparison; mismatched types never match (no coercion
+    surprises — a missing attribute or wrong-typed value simply fails)."""
+    if op in ("=", "=="):
+        return _loose_equal(actual, expected)
+    if op in ("<>", "!="):
+        return not _loose_equal(actual, expected)
+    if not _both_comparable(actual, expected):
+        return False
+    if op == "<":
+        return actual < expected
+    if op == "<=":
+        return actual <= expected
+    if op == ">":
+        return actual > expected
+    if op == ">=":
+        return actual >= expected
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def _loose_equal(actual: Any, expected: Any) -> bool:
+    if isinstance(actual, bool) or isinstance(expected, bool):
+        return actual is expected
+    if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+        return float(actual) == float(expected)
+    return actual == expected
+
+
+def _both_comparable(actual: Any, expected: Any) -> bool:
+    if isinstance(actual, bool) or isinstance(expected, bool):
+        return False
+    numeric = isinstance(actual, (int, float)) and isinstance(expected, (int, float))
+    stringy = isinstance(actual, str) and isinstance(expected, str)
+    return numeric or stringy
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One WHERE clause term: ``attribute op value``."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def matches(self, actual: Any) -> bool:
+        return evaluate(actual, self.op, self.value)
+
+    def is_equality(self) -> bool:
+        return self.op in ("=", "==")
+
+    def pack(self) -> Tuple[str, str, Any]:
+        """Serialize for message payloads."""
+        return (self.attribute, self.op, self.value)
+
+    @classmethod
+    def unpack(cls, packed: Tuple[str, str, Any]) -> "Predicate":
+        attribute, op, value = packed
+        return cls(attribute, op, value)
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"

@@ -1,0 +1,188 @@
+"""Composable aggregation functions for in-network roll-up.
+
+The paper (§II-B3) permits "any composable function, such as filter, sum,
+maximum or minimum, as long as it satisfies the hierarchical computation
+property": combining partial results of subtrees must equal computing over
+the union of their leaves.  Each function here is expressed as a commutative
+monoid plus a ``lift`` from member-local values into the monoid and a
+``finalize`` out of it, which makes the hierarchical property hold by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class AggregateFunction:
+    """A hierarchical aggregate = (zero, lift, combine, finalize)."""
+
+    name = "abstract"
+
+    def zero(self) -> Any:
+        """Identity element of ``combine``."""
+        raise NotImplementedError
+
+    def lift(self, local_value: Any) -> Any:
+        """Map a member's local value into the accumulator domain."""
+        return local_value
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Associative, commutative combination of accumulators."""
+        raise NotImplementedError
+
+    def finalize(self, acc: Any) -> Any:
+        """Map the root accumulator to the user-visible result."""
+        return acc
+
+
+class CountFunction(AggregateFunction):
+    """Tree size: every member contributes 1 (used for query step 1/2)."""
+
+    name = "count"
+
+    def zero(self) -> int:
+        return 0
+
+    def lift(self, local_value: Any) -> int:
+        return 1
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+
+class SumFunction(AggregateFunction):
+    """Sum of member values."""
+
+    name = "sum"
+
+    def zero(self) -> float:
+        return 0.0
+
+    def lift(self, local_value: Any) -> float:
+        return float(local_value)
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+
+class MinFunction(AggregateFunction):
+    """Minimum; ``None`` is the identity (empty subtree)."""
+
+    name = "min"
+
+    def zero(self) -> Optional[float]:
+        return None
+
+    def lift(self, local_value: Any) -> float:
+        return float(local_value)
+
+    def combine(self, a: Optional[float], b: Optional[float]) -> Optional[float]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+
+class MaxFunction(AggregateFunction):
+    """Maximum; ``None`` is the identity (empty subtree)."""
+
+    name = "max"
+
+    def zero(self) -> Optional[float]:
+        return None
+
+    def lift(self, local_value: Any) -> float:
+        return float(local_value)
+
+    def combine(self, a: Optional[float], b: Optional[float]) -> Optional[float]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+
+
+class AvgFunction(AggregateFunction):
+    """Average of member values, carried as a (sum, count) pair."""
+
+    name = "avg"
+
+    def zero(self) -> tuple:
+        return (0.0, 0)
+
+    def lift(self, local_value: Any) -> tuple:
+        return (float(local_value), 1)
+
+    def combine(self, a: tuple, b: tuple) -> tuple:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, acc: tuple) -> Optional[float]:
+        total, count = acc
+        return None if count == 0 else total / count
+
+
+class AnyFunction(AggregateFunction):
+    """Boolean OR across members (e.g. "does any node have a GPU free?")."""
+
+    name = "any"
+
+    def zero(self) -> bool:
+        return False
+
+    def lift(self, local_value: Any) -> bool:
+        return bool(local_value)
+
+    def combine(self, a: bool, b: bool) -> bool:
+        return a or b
+
+
+class AllFunction(AggregateFunction):
+    """Boolean AND across members."""
+
+    name = "all"
+
+    def zero(self) -> bool:
+        return True
+
+    def lift(self, local_value: Any) -> bool:
+        return bool(local_value)
+
+    def combine(self, a: bool, b: bool) -> bool:
+        return a and b
+
+
+class FilterCountFunction(AggregateFunction):
+    """Count of members whose local value satisfies a predicate ("filter")."""
+
+    name = "filter_count"
+
+    def __init__(self, predicate: Callable[[Any], bool], name: Optional[str] = None):
+        self._predicate = predicate
+        if name is not None:
+            self.name = name
+
+    def zero(self) -> int:
+        return 0
+
+    def lift(self, local_value: Any) -> int:
+        return 1 if self._predicate(local_value) else 0
+
+    def combine(self, a: int, b: int) -> int:
+        return a + b
+
+
+#: Built-in aggregate registry, extended by callers at will.
+AGGREGATE_FUNCTIONS: Dict[str, AggregateFunction] = {
+    fn.name: fn
+    for fn in (
+        CountFunction(),
+        SumFunction(),
+        MinFunction(),
+        MaxFunction(),
+        AvgFunction(),
+        AnyFunction(),
+        AllFunction(),
+    )
+}

@@ -1,0 +1,598 @@
+"""The Scribe application: per-topic trees with multicast/anycast/aggregate.
+
+One :class:`ScribeApplication` instance is registered on every Pastry node.
+Tree construction follows the paper (§II-B2): a node wanting topic T routes a
+JOIN toward ``topic_id(T)``; every node along the path becomes a forwarder
+and adopts the previous hop as a child, so the union of join paths forms the
+spanning tree rooted at the node closest to the TopicId.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.message import Message
+from repro.pastry.node import Application, PastryNode
+from repro.pastry.nodeid import NodeId
+from repro.pastry.routing_table import NodeRef
+from repro.scribe.aggregate import AGGREGATE_FUNCTIONS, AggregateFunction
+from repro.scribe.topic import topic_id
+from repro.sim.engine import Simulator
+from repro.sim.futures import Future
+
+_request_ids = itertools.count(1)
+
+#: Visitor invoked at each member during anycast DFS.  Mutates the carried
+#: state dict; returns True when the anycast is satisfied and should return
+#: to its origin.
+AnycastVisitor = Callable[[PastryNode, str, Dict[str, Any]], bool]
+
+#: Callback invoked at each member on multicast delivery.
+MulticastHandler = Callable[[PastryNode, str, Dict[str, Any]], None]
+
+
+class TopicState:
+    """Per-topic tree state held by one node."""
+
+    __slots__ = (
+        "topic", "key", "scope", "parent", "is_root", "member",
+        "children", "local", "child_acc", "last_pushed",
+        "dirty", "flush_event",
+    )
+
+    def __init__(self, topic: str, key: NodeId, scope: str = "global"):
+        self.topic = topic
+        self.key = key
+        self.scope = scope
+        self.parent: Optional[int] = None
+        self.is_root = False
+        self.member = False
+        self.children: Dict[int, NodeRef] = {}
+        # Aggregation: raw member-local values and per-child accumulators.
+        self.local: Dict[str, Any] = {}
+        self.child_acc: Dict[str, Dict[int, Any]] = {}
+        self.last_pushed: Dict[str, Any] = {}
+        # Names whose accumulator changed since the last flush, plus the
+        # pending coalescing-flush timer (in-network aggregation batches
+        # updates so a parent pushes once per wave, not once per child).
+        self.dirty: set = set()
+        self.flush_event = None
+
+    def in_tree(self) -> bool:
+        return self.is_root or self.parent is not None or bool(self.children) or self.member
+
+    def agg_names(self) -> List[str]:
+        names = set(self.local)
+        names.update(self.child_acc)
+        return sorted(names)
+
+
+class ScribeApplication(Application):
+    """Scribe + RBAY's aggregation extension, one instance per node."""
+
+    name = "scribe"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        functions: Optional[Dict[str, AggregateFunction]] = None,
+        creator: str = "rbay",
+        agg_flush_ms: float = 50.0,
+    ):
+        self.sim = sim
+        self.creator = creator
+        #: Coalescing window for aggregation pushes: changes accumulated
+        #: within this window travel upward as one update (the paper's
+        #: "periodically aggregated" roll-up, §II-B3).
+        self.agg_flush_ms = agg_flush_ms
+        self.functions = dict(AGGREGATE_FUNCTIONS if functions is None else functions)
+        self._topics: Dict[str, TopicState] = {}
+        self._pending: Dict[int, Future] = {}
+        # In-flight pull aggregations at this node: pull_id -> bookkeeping.
+        self._pulls: Dict[int, Dict[str, Any]] = {}
+        self.anycast_visitor: Optional[AnycastVisitor] = None
+        self.multicast_handler: Optional[MulticastHandler] = None
+
+    # ------------------------------------------------------------------
+    # Public API (called with the owning node)
+    # ------------------------------------------------------------------
+    def topic_state(self, topic: str, scope: Optional[str] = None) -> TopicState:
+        """This node's state for ``topic``, created lazily."""
+        if topic not in self._topics:
+            self._topics[topic] = TopicState(
+                topic, topic_id(topic, self.creator), scope or "global"
+            )
+        state = self._topics[topic]
+        if scope is not None:
+            state.scope = scope
+        return state
+
+    def topics(self) -> Dict[str, TopicState]:
+        return self._topics
+
+    def is_member(self, topic: str) -> bool:
+        state = self._topics.get(topic)
+        return state is not None and state.member
+
+    def join(self, node: PastryNode, topic: str, scope: str = "global") -> None:
+        """Subscribe ``node`` to ``topic``, building tree state on the way.
+
+        ``scope="site"`` builds the tree with site-scoped routing so the
+        rendezvous (root) stays inside the node's own site — the
+        administrative-isolation behaviour of paper §III-E.
+        """
+        state = self.topic_state(topic, scope)
+        if state.member:
+            return
+        state.member = True
+        self.set_local(node, topic, "count", 1)
+        if state.in_tree() and (state.parent is not None or state.is_root):
+            return  # already wired into the tree as a forwarder
+        node.route(state.key, self.name, {"op": "join", "topic": topic,
+                                          "scope": state.scope,
+                                          "child": self._packed_self(node)},
+                   scope=state.scope)
+
+    def leave(self, node: PastryNode, topic: str) -> None:
+        """Unsubscribe; prunes the branch if nothing depends on it."""
+        state = self._topics.get(topic)
+        if state is None or not state.member:
+            return
+        state.member = False
+        state.local.clear()
+        self._recompute_and_push(node, state)
+        self._maybe_prune(node, state)
+
+    def multicast(self, node: PastryNode, topic: str, payload: Dict[str, Any]) -> None:
+        """Disseminate ``payload`` to all members via the rendezvous root."""
+        state = self.topic_state(topic)
+        node.route(state.key, self.name, {"op": "mcast", "topic": topic,
+                                          "scope": state.scope, "body": payload},
+                   scope=state.scope)
+
+    def anycast(
+        self,
+        node: PastryNode,
+        topic: str,
+        state_payload: Dict[str, Any],
+        timeout: Optional[float] = None,
+        scope: Optional[str] = None,
+    ) -> Future:
+        """Start a DFS anycast; resolves to the (mutated) state payload.
+
+        The result dict additionally carries ``satisfied`` (visitor returned
+        True) and ``visited_members`` (DFS coverage count).
+        """
+        request_id = next(_request_ids)
+        future = Future(self.sim, timeout=timeout)
+        self._pending[request_id] = future
+        state = self.topic_state(topic, scope)
+        node.route(state.key, self.name, {
+            "op": "anycast",
+            "topic": topic,
+            "scope": state.scope,
+            "origin": node.address,
+            "request_id": request_id,
+            "visited": [],
+            "visited_members": 0,
+            "state": state_payload,
+        }, scope=state.scope)
+        return future
+
+    def set_local(self, node: PastryNode, topic: str, agg_name: str, value: Any) -> None:
+        """Set this member's contribution to an aggregate and push deltas up."""
+        if agg_name not in self.functions:
+            raise KeyError(f"unknown aggregate function {agg_name!r}")
+        state = self.topic_state(topic)
+        state.local[agg_name] = value
+        self._recompute_and_push(node, state, only=agg_name)
+
+    def clear_local(self, node: PastryNode, topic: str, agg_name: str) -> None:
+        state = self._topics.get(topic)
+        if state and agg_name in state.local:
+            del state.local[agg_name]
+            self._recompute_and_push(node, state, only=agg_name)
+
+    def query_aggregate(
+        self,
+        node: PastryNode,
+        topic: str,
+        agg_names: List[str],
+        timeout: Optional[float] = None,
+        scope: Optional[str] = None,
+    ) -> Future:
+        """Fetch finalized aggregate values from the topic root.
+
+        Resolves to ``{agg_name: value}``; missing aggregates come back None.
+        """
+        request_id = next(_request_ids)
+        future = Future(self.sim, timeout=timeout)
+        self._pending[request_id] = future
+        state = self.topic_state(topic, scope)
+        node.route(state.key, self.name, {
+            "op": "agg_get",
+            "topic": topic,
+            "scope": state.scope,
+            "origin": node.address,
+            "request_id": request_id,
+            "names": list(agg_names),
+        }, scope=state.scope)
+        return future
+
+    def query_aggregate_fresh(
+        self,
+        node: PastryNode,
+        topic: str,
+        agg_names: List[str],
+        timeout: Optional[float] = None,
+        scope: Optional[str] = None,
+    ) -> Future:
+        """On-demand (pull) aggregation: values are computed by walking the
+        tree at query time instead of reading the root's pushed state.
+
+        Costs one message per tree edge per query, but returns perfectly
+        fresh values and consumes no bandwidth between queries — the
+        Moara-style trade-off (§V-C) the push/pull ablation measures.
+        Resolves to ``{agg_name: finalized value}``.
+        """
+        request_id = next(_request_ids)
+        future = Future(self.sim, timeout=timeout)
+        self._pending[request_id] = future
+        state = self.topic_state(topic, scope)
+        node.route(state.key, self.name, {
+            "op": "agg_pull",
+            "topic": topic,
+            "scope": state.scope,
+            "origin": node.address,
+            "request_id": request_id,
+            "names": list(agg_names),
+        }, scope=state.scope)
+        return future
+
+    def tree_size(self, node: PastryNode, topic: str, timeout: Optional[float] = None,
+                  scope: Optional[str] = None) -> Future:
+        """Tree size via the built-in count aggregate (query steps 1–2)."""
+        future = Future(self.sim, timeout=timeout)
+        self.query_aggregate(node, topic, ["count"], timeout=timeout, scope=scope).add_callback(
+            lambda values: future.try_resolve(
+                values if isinstance(values, Exception) else int(values.get("count") or 0)
+            )
+        )
+        return future
+
+    def maintain(self, node: PastryNode) -> None:
+        """Periodic repair: re-join through live parents, prune dead
+        children, and re-push aggregation state.
+
+        The unconditional re-push is the paper's periodic roll-up ("the
+        states from tree leaves can be periodically aggregated to the tree
+        root"); it doubles as anti-entropy, recovering aggregate state lost
+        to dropped messages.
+        """
+        for state in list(self._topics.values()):
+            for address in [a for a in state.children if not node.network.has_host(a)]:
+                self._drop_child(node, state, address)
+            if state.parent is not None and not node.network.has_host(state.parent):
+                state.parent = None
+            if (state.parent is None and not state.is_root
+                    and (state.member or state.children)):
+                # Detached: the parent died, or the original JOIN/parent_set
+                # message was lost.  Re-route a JOIN toward the rendezvous.
+                node.route(state.key, self.name, {"op": "join", "topic": state.topic,
+                                                  "scope": state.scope,
+                                                  "child": self._packed_self(node)},
+                           scope=state.scope)
+            if state.parent is not None and state.agg_names():
+                self._repush_all(node, state)
+
+    # ------------------------------------------------------------------
+    # Pastry upcalls
+    # ------------------------------------------------------------------
+    def forward(self, node: PastryNode, key: NodeId, msg: Message, next_hop: NodeRef) -> bool:
+        """Pastry upcall: intercept JOINs and in-tree anycasts mid-route."""
+        data = msg.payload["data"]
+        op = data["op"]
+        if op == "join":
+            return self._forward_join(node, data)
+        if op == "anycast":
+            state = self._topics.get(data["topic"])
+            if state is not None and state.in_tree():
+                self._anycast_visit(node, data)
+                return False
+        return True
+
+    def deliver(self, node: PastryNode, key: NodeId, msg: Message) -> None:
+        """Pastry upcall at the rendezvous root: joins, multicasts, probes."""
+        data = msg.payload["data"]
+        op = data["op"]
+        state = self.topic_state(data["topic"], data.get("scope"))
+        state.is_root = True
+        if op == "join":
+            child_id, child_addr, child_site = data["child"]
+            if child_addr != node.address:
+                self._add_child(node, state, NodeRef(NodeId(child_id), child_addr, child_site))
+        elif op == "mcast":
+            self._disseminate(node, state, data["body"])
+        elif op == "anycast":
+            self._anycast_visit(node, data)
+        elif op == "agg_pull":
+            self._start_pull(node, state, data["names"],
+                             reply_to=("origin", data["origin"], data["request_id"]))
+        elif op == "agg_get":
+            values = {}
+            for agg_name in data["names"]:
+                fn = self.functions.get(agg_name)
+                if fn is None:
+                    values[agg_name] = None
+                else:
+                    values[agg_name] = fn.finalize(self._own_acc(state, agg_name))
+            node.send_app(data["origin"], self.name, "agg_value", {
+                "request_id": data["request_id"],
+                "values": values,
+                "topic": state.topic,
+            })
+
+    # ------------------------------------------------------------------
+    # Direct messages
+    # ------------------------------------------------------------------
+    def host_message(self, node: PastryNode, msg: Message) -> None:
+        """Direct tree traffic: parent links, dissemination, walks, pushes."""
+        kind = msg.payload["kind"]
+        data = msg.payload["data"]
+        if kind == "parent_set":
+            self._on_parent_set(node, data["topic"], msg.payload["origin"])
+        elif kind == "mcast_down":
+            state = self.topic_state(data["topic"])
+            self._disseminate(node, state, data["body"])
+        elif kind == "anycast_walk":
+            self._anycast_visit(node, data)
+        elif kind == "anycast_result":
+            future = self._pending.pop(data["request_id"], None)
+            if future is not None:
+                result = dict(data["state"])
+                result["satisfied"] = data["satisfied"]
+                result["visited_members"] = data["visited_members"]
+                future.try_resolve(result)
+        elif kind == "pull_down":
+            state = self.topic_state(data["topic"])
+            self._start_pull(node, state, data["names"],
+                             reply_to=("parent", msg.payload["origin"], data["pull_id"]))
+        elif kind == "pull_up":
+            self._on_pull_up(node, data)
+        elif kind == "agg_push":
+            self._on_agg_push(node, data, msg.payload["origin"])
+        elif kind == "agg_value":
+            future = self._pending.pop(data["request_id"], None)
+            if future is not None:
+                future.try_resolve(data["values"])
+        elif kind == "leave":
+            state = self._topics.get(data["topic"])
+            if state is not None:
+                self._drop_child(node, state, msg.payload["origin"])
+                self._maybe_prune(node, state)
+
+    # ------------------------------------------------------------------
+    # Join / tree plumbing
+    # ------------------------------------------------------------------
+    def _packed_self(self, node: PastryNode):
+        return (node.node_id.value, node.address, node.site.index)
+
+    def _forward_join(self, node: PastryNode, data: Dict[str, Any]) -> bool:
+        topic = data["topic"]
+        child_id, child_addr, child_site = data["child"]
+        state = self.topic_state(topic, data.get("scope"))
+        if child_addr == node.address:
+            return True  # we are the origin; nothing to adopt
+        self._add_child(node, state, NodeRef(NodeId(child_id), child_addr, child_site))
+        if state.parent is not None or state.is_root:
+            return False  # already wired in: the join stops here
+        # Become a forwarder and continue joining on our own behalf.
+        data["child"] = self._packed_self(node)
+        return True
+
+    def _add_child(self, node: PastryNode, state: TopicState, ref: NodeRef) -> None:
+        if ref.address == node.address:
+            return
+        state.children[ref.address] = ref
+        node.send_app(ref.address, self.name, "parent_set", {"topic": state.topic})
+
+    def _drop_child(self, node: PastryNode, state: TopicState, address: int) -> None:
+        state.children.pop(address, None)
+        changed = False
+        for child_map in state.child_acc.values():
+            if address in child_map:
+                del child_map[address]
+                changed = True
+        if changed:
+            self._recompute_and_push(node, state)
+
+    def _on_parent_set(self, node: PastryNode, topic: str, parent_addr: int) -> None:
+        state = self.topic_state(topic)
+        if parent_addr == node.address:
+            return
+        state.parent = parent_addr
+        state.is_root = False
+        self._repush_all(node, state)
+
+    def _maybe_prune(self, node: PastryNode, state: TopicState) -> None:
+        """Detach from parent if we are a childless, memberless non-root."""
+        if state.member or state.children or state.is_root:
+            return
+        if state.parent is not None and node.network.has_host(state.parent):
+            node.send_app(state.parent, self.name, "leave", {"topic": state.topic})
+        state.parent = None
+
+    # ------------------------------------------------------------------
+    # Multicast
+    # ------------------------------------------------------------------
+    def _disseminate(self, node: PastryNode, state: TopicState, body: Dict[str, Any]) -> None:
+        if state.member and self.multicast_handler is not None:
+            self.multicast_handler(node, state.topic, body)
+        for address in list(state.children):
+            if node.network.has_host(address):
+                node.send_app(address, self.name, "mcast_down",
+                              {"topic": state.topic, "body": body})
+            else:
+                self._drop_child(node, state, address)
+
+    # ------------------------------------------------------------------
+    # Anycast (distributed DFS, paper §II-B3 and §III-D step 4)
+    # ------------------------------------------------------------------
+    def _anycast_visit(self, node: PastryNode, data: Dict[str, Any]) -> None:
+        topic = data["topic"]
+        state = self.topic_state(topic)
+        visited = data["visited"]
+        if node.address not in visited:
+            visited.append(node.address)
+            if state.member:
+                data["visited_members"] += 1
+                satisfied = (
+                    self.anycast_visitor(node, topic, data["state"])
+                    if self.anycast_visitor is not None
+                    else False
+                )
+                if satisfied:
+                    self._anycast_reply(node, data, satisfied=True)
+                    return
+        # Continue DFS: first unvisited live child, else climb to the parent.
+        for address in list(state.children):
+            if address in visited:
+                continue
+            if not node.network.has_host(address):
+                self._drop_child(node, state, address)
+                continue
+            node.send_app(address, self.name, "anycast_walk", data)
+            return
+        if state.parent is not None and node.network.has_host(state.parent):
+            node.send_app(state.parent, self.name, "anycast_walk", data)
+            return
+        # Root with everything visited (or detached): exhausted.
+        self._anycast_reply(node, data, satisfied=False)
+
+    def _anycast_reply(self, node: PastryNode, data: Dict[str, Any], satisfied: bool) -> None:
+        node.send_app(data["origin"], self.name, "anycast_result", {
+            "request_id": data["request_id"],
+            "state": data["state"],
+            "satisfied": satisfied,
+            "visited_members": data["visited_members"],
+        })
+
+    # ------------------------------------------------------------------
+    # Pull (on-demand) aggregation
+    # ------------------------------------------------------------------
+    def _start_pull(self, node: PastryNode, state: TopicState, names: List[str],
+                    reply_to) -> None:
+        """Recursively collect fresh accumulators from this subtree."""
+        pull_id = next(_request_ids)
+        live_children = [a for a in state.children if node.network.has_host(a)]
+        record = {
+            "topic": state.topic,
+            "names": list(names),
+            "remaining": len(live_children),
+            "accs": {n: self._local_acc(state, n) for n in names},
+            "reply_to": reply_to,
+        }
+        self._pulls[pull_id] = record
+        if not live_children:
+            self._finish_pull(node, pull_id)
+            return
+        for address in live_children:
+            node.send_app(address, self.name, "pull_down", {
+                "topic": state.topic, "names": list(names), "pull_id": pull_id,
+            })
+
+    def _local_acc(self, state: TopicState, agg_name: str) -> Any:
+        fn = self.functions.get(agg_name)
+        if fn is None:
+            return None
+        acc = fn.zero()
+        if state.member and agg_name in state.local:
+            acc = fn.combine(acc, fn.lift(state.local[agg_name]))
+        return acc
+
+    def _on_pull_up(self, node: PastryNode, data: Dict[str, Any]) -> None:
+        record = self._pulls.get(data["pull_id"])
+        if record is None:
+            return
+        for agg_name, child_acc in data["accs"].items():
+            fn = self.functions.get(agg_name)
+            if fn is None or child_acc is None:
+                continue
+            if isinstance(child_acc, list):
+                child_acc = tuple(child_acc)
+            record["accs"][agg_name] = fn.combine(record["accs"][agg_name], child_acc)
+        record["remaining"] -= 1
+        if record["remaining"] <= 0:
+            self._finish_pull(node, data["pull_id"])
+
+    def _finish_pull(self, node: PastryNode, pull_id: int) -> None:
+        record = self._pulls.pop(pull_id)
+        kind, address, token = record["reply_to"]
+        if kind == "parent":
+            node.send_app(address, self.name, "pull_up", {
+                "pull_id": token, "accs": record["accs"],
+            })
+            return
+        values = {}
+        for agg_name, acc in record["accs"].items():
+            fn = self.functions.get(agg_name)
+            values[agg_name] = None if fn is None else fn.finalize(acc)
+        node.send_app(address, self.name, "agg_value", {
+            "request_id": token, "values": values, "topic": record["topic"],
+        })
+
+    # ------------------------------------------------------------------
+    # Aggregation (RBAY's extension, §II-B3)
+    # ------------------------------------------------------------------
+    def _own_acc(self, state: TopicState, agg_name: str) -> Any:
+        fn = self.functions[agg_name]
+        acc = fn.zero()
+        if state.member and agg_name in state.local:
+            acc = fn.combine(acc, fn.lift(state.local[agg_name]))
+        for child_value in state.child_acc.get(agg_name, {}).values():
+            acc = fn.combine(acc, child_value)
+        return acc
+
+    def _recompute_and_push(self, node: PastryNode, state: TopicState, only: Optional[str] = None) -> None:
+        """Mark aggregates dirty and arm the coalescing flush timer."""
+        names = [only] if only is not None else state.agg_names()
+        state.dirty.update(n for n in names if n in self.functions)
+        if not state.dirty:
+            return
+        if self.agg_flush_ms <= 0:
+            self._flush(node, state)
+        elif state.flush_event is None or state.flush_event.cancelled:
+            state.flush_event = self.sim.schedule(
+                self.agg_flush_ms, self._flush, node, state
+            )
+
+    def _flush(self, node: PastryNode, state: TopicState) -> None:
+        if state.flush_event is not None:
+            state.flush_event.cancel()
+            state.flush_event = None
+        dirty, state.dirty = state.dirty, set()
+        for agg_name in dirty:
+            acc = self._own_acc(state, agg_name)
+            if state.parent is None:
+                continue
+            if state.last_pushed.get(agg_name) == acc:
+                continue
+            state.last_pushed[agg_name] = acc
+            if node.network.has_host(state.parent):
+                node.send_app(state.parent, self.name, "agg_push", {
+                    "topic": state.topic, "agg": agg_name, "acc": acc,
+                })
+
+    def _repush_all(self, node: PastryNode, state: TopicState) -> None:
+        state.last_pushed.clear()
+        self._recompute_and_push(node, state)
+
+    def _on_agg_push(self, node: PastryNode, data: Dict[str, Any], child_addr: int) -> None:
+        state = self.topic_state(data["topic"])
+        agg_name = data["agg"]
+        acc = data["acc"]
+        if isinstance(acc, list):
+            acc = tuple(acc)  # tuples survive payload round-trips as lists
+        state.child_acc.setdefault(agg_name, {})[child_addr] = acc
+        self._recompute_and_push(node, state, only=agg_name)

@@ -1,0 +1,20 @@
+"""Topic (tree) naming.
+
+The paper names a tree by a pseudo-random Pastry id — "the hash of the
+tree's textual name concatenated with its creator's name" (§II-B2).  The
+node whose NodeId is numerically closest to the TreeId becomes the root.
+SHA-1's uniformity spreads roots evenly over the id space, which is the
+core of RBAY's load-balance argument.
+"""
+
+from __future__ import annotations
+
+from repro.pastry.nodeid import NodeId
+
+#: Default creator string for system-created trees.
+DEFAULT_CREATOR = "rbay"
+
+
+def topic_id(name: str, creator: str = DEFAULT_CREATOR) -> NodeId:
+    """The TreeId for a topic: hash(textual name ++ creator)."""
+    return NodeId.from_key(f"{name}#{creator}")

@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation engine.
+
+Every RBAY component runs on top of this engine: simulated hosts exchange
+messages whose delivery times come from the network latency model, timers
+drive periodic maintenance (tree re-subscription, aggregation roll-up), and
+all randomness flows from named, seeded streams so that experiments are
+reproducible bit-for-bit.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.futures import Future, FutureTimeout, gather
+from repro.sim.random_streams import RandomStreams
+
+__all__ = [
+    "Event",
+    "Future",
+    "FutureTimeout",
+    "RandomStreams",
+    "Simulator",
+    "gather",
+]

@@ -1,0 +1,241 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a virtual clock (milliseconds, float) and a
+priority queue of scheduled callbacks.  Components never sleep or spawn
+threads; they schedule callbacks at future virtual times and the single
+event loop executes them in time order.  Ties are broken by insertion
+order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle for a scheduled callback.
+
+    Events support cancellation: a cancelled event stays in the heap but is
+    skipped when popped (lazy deletion), which keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Single-threaded deterministic event loop with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial virtual time in milliseconds.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (diagnostics / budget checks)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` virtual milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` at the current virtual time, after pending work."""
+        return self.schedule(0.0, callback, *args)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback(*args)`` every ``interval`` ms until stopped.
+
+        ``jitter_fn``, if given, is called before each firing and its return
+        value (ms) is added to the interval — used to de-synchronize periodic
+        maintenance across thousands of simulated nodes.
+        """
+        return PeriodicTask(self, interval, callback, args, jitter_fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now - 1e-9:
+                raise SimulationError("event heap corrupted: time moved backwards")
+            self._now = event.time
+            self._events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once virtual time would exceed this value (events scheduled
+            later stay queued; the clock is advanced to ``until``).
+        max_events:
+            Safety valve — stop after executing this many events.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = max(self._now, until)
+                    return
+                if max_events is not None and executed >= max_events:
+                    return
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_executed += 1
+                executed += 1
+                event.callback(*event.args)
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Run until ``predicate()`` is true.  Returns whether it became true."""
+        deadline = None if timeout is None else self._now + timeout
+        executed = 0
+        while not predicate():
+            if deadline is not None and self._now >= deadline:
+                return False
+            if max_events is not None and executed >= max_events:
+                return False
+            if not self._heap_has_runnable(deadline):
+                return predicate()
+            self.step()
+            executed += 1
+        return True
+
+    def _heap_has_runnable(self, deadline: Optional[float]) -> bool:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return False
+        if deadline is not None and self._heap[0].time > deadline:
+            return False
+        return True
+
+
+class PeriodicTask:
+    """A repeating timer created by :meth:`Simulator.schedule_periodic`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        jitter_fn: Optional[Callable[[], float]],
+    ):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive (got {interval})")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._jitter_fn = jitter_fn
+        self._stopped = False
+        self._event = self._schedule_next()
+
+    def _schedule_next(self) -> Event:
+        delay = self._interval
+        if self._jitter_fn is not None:
+            delay = max(0.0, delay + self._jitter_fn())
+        return self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        if not self._stopped:
+            self._event = self._schedule_next()
+
+    def stop(self) -> None:
+        """Cancel all future firings."""
+        self._stopped = True
+        self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

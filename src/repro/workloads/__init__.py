@@ -1,0 +1,19 @@
+"""Workload generators reproducing the paper's evaluation setup (§IV-A)."""
+
+from repro.workloads.ec2 import (
+    EC2_INSTANCE_TYPES,
+    INSTANCE_SPECS,
+    gaussian_tree_assignment,
+)
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+from repro.workloads.queries import QueryWorkload, composite_query
+
+__all__ = [
+    "EC2_INSTANCE_TYPES",
+    "FederationWorkload",
+    "INSTANCE_SPECS",
+    "QueryWorkload",
+    "WorkloadSpec",
+    "composite_query",
+    "gaussian_tree_assignment",
+]

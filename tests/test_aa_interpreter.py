@@ -1,0 +1,286 @@
+"""Unit tests for the Luette interpreter."""
+
+import pytest
+
+from repro.aa.errors import InstructionLimitExceeded, LuetteRuntimeError
+from repro.aa.interpreter import Interpreter
+from repro.aa.parser import parse
+from repro.aa.stdlib import make_sandbox_globals
+from repro.aa.values import LuetteTable, luette_to_python
+
+
+def run(source, limit=200_000):
+    interp = Interpreter(make_sandbox_globals(), instruction_limit=limit)
+    return luette_to_python(interp.run_chunk(parse(source)))
+
+
+class TestArithmetic:
+    def test_basic_math(self):
+        assert run("return 1 + 2 * 3 - 4 / 2") == 5
+
+    def test_modulo_is_floored(self):
+        assert run("return -5 % 3") == 1  # Lua semantics, unlike C
+        assert run("return 5 % -3") == -1
+
+    def test_power(self):
+        assert run("return 2 ^ 10") == 1024
+
+    def test_division_by_zero_is_inf(self):
+        assert run("return 1 / 0") == float("inf")
+        assert run("return -1 / 0") == float("-inf")
+
+    def test_modulo_by_zero_is_nan(self):
+        result = run("return 1 % 0")
+        assert result != result  # NaN
+
+    def test_unary_minus(self):
+        assert run("return -(3 + 4)") == -7
+
+    def test_type_error_on_adding_string(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("return {} + 1")
+
+
+class TestStringsAndComparison:
+    def test_concat_coerces_numbers(self):
+        assert run("return 'x' .. 1 .. 'y'") == "x1y"
+
+    def test_concat_table_fails(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("return 'x' .. {}")
+
+    def test_string_comparison(self):
+        assert run("return 'abc' < 'abd'") is True
+
+    def test_mixed_comparison_fails(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("return 1 < 'a'")
+
+    def test_equality_across_types_is_false(self):
+        assert run("return 1 == '1'") is False
+        assert run("return nil == false") is False
+
+    def test_table_equality_is_identity(self):
+        assert run("local t = {} return t == t") is True
+        assert run("return {} == {}") is False
+
+    def test_length_of_string(self):
+        assert run("return #'hello'") == 5
+
+
+class TestTruthiness:
+    def test_only_nil_and_false_are_falsy(self):
+        assert run("if 0 then return 'zero-true' end") == "zero-true"
+        assert run("if '' then return 'empty-true' end") == "empty-true"
+        assert run("if nil then return 1 else return 2 end") == 2
+        assert run("if false then return 1 else return 2 end") == 2
+
+    def test_and_or_return_operands(self):
+        assert run("return nil or 'fallback'") == "fallback"
+        assert run("return 1 and 2") == 2
+        assert run("return false and error('never')") is False
+
+    def test_not(self):
+        assert run("return not nil") is True
+        assert run("return not 0") is False
+
+
+class TestControlFlow:
+    def test_if_chain(self):
+        source = """
+        local x = 7
+        if x < 5 then return 'small'
+        elseif x < 10 then return 'medium'
+        else return 'large' end
+        """
+        assert run(source) == "medium"
+
+    def test_while_with_break(self):
+        source = """
+        local i = 0
+        while true do
+          i = i + 1
+          if i >= 5 then break end
+        end
+        return i
+        """
+        assert run(source) == 5
+
+    def test_numeric_for(self):
+        assert run("local s = 0 for i = 1, 10 do s = s + i end return s") == 55
+
+    def test_numeric_for_with_step(self):
+        assert run("local s = 0 for i = 10, 1, -2 do s = s + i end return s") == 30
+
+    def test_numeric_for_zero_step_rejected(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("for i = 1, 2, 0 do end")
+
+    def test_numeric_for_no_iterations(self):
+        assert run("local s = 0 for i = 5, 1 do s = s + 1 end return s") == 0
+
+    def test_generic_for_pairs(self):
+        source = """
+        local t = {a = 1, b = 2, c = 3}
+        local total = 0
+        for k, v in pairs(t) do total = total + v end
+        return total
+        """
+        assert run(source) == 6
+
+    def test_generic_for_ipairs_stops_at_gap(self):
+        source = """
+        local t = {10, 20}
+        t[4] = 40
+        local total = 0
+        for i, v in ipairs(t) do total = total + v end
+        return total
+        """
+        assert run(source) == 30
+
+    def test_break_inside_for(self):
+        source = """
+        local last = 0
+        for i = 1, 100 do
+          last = i
+          if i == 3 then break end
+        end
+        return last
+        """
+        assert run(source) == 3
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        local function fact(n)
+          if n <= 1 then return 1 end
+          return n * fact(n - 1)
+        end
+        return fact(6)
+        """
+        assert run(source) == 720
+
+    def test_closures_capture_environment(self):
+        source = """
+        local function counter()
+          local n = 0
+          return function()
+            n = n + 1
+            return n
+          end
+        end
+        local c = counter()
+        c()
+        c()
+        return c()
+        """
+        assert run(source) == 3
+
+    def test_missing_args_are_nil(self):
+        assert run("local function f(a, b) return b end return f(1) == nil") is True
+
+    def test_extra_args_ignored(self):
+        assert run("local function f(a) return a end return f(1, 2, 3)") == 1
+
+    def test_function_without_return_yields_nil(self):
+        assert run("local function f() end return f() == nil") is True
+
+    def test_calling_non_function_fails(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("local x = 5 return x()")
+
+    def test_stack_overflow_guard(self):
+        source = """
+        local function loop() return loop() end
+        return loop()
+        """
+        with pytest.raises(LuetteRuntimeError):
+            run(source)
+
+    def test_higher_order_functions(self):
+        source = """
+        local function apply(f, x) return f(x) end
+        return apply(function(v) return v * 2 end, 21)
+        """
+        assert run(source) == 42
+
+
+class TestTablesRuntime:
+    def test_constructor_and_index(self):
+        assert run("local t = {x = {y = 9}} return t.x.y") == 9
+
+    def test_array_keys_start_at_one(self):
+        assert run("local t = {7, 8} return t[1] + t[2]") == 15
+
+    def test_float_int_key_unification(self):
+        assert run("local t = {} t[1] = 'a' return t[1.0]") == "a"
+
+    def test_nil_assignment_deletes(self):
+        assert run("local t = {x = 1} t.x = nil return t.x == nil") is True
+
+    def test_nil_index_raises(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("local t = {} t[nil] = 1")
+
+    def test_indexing_nil_raises(self):
+        with pytest.raises(LuetteRuntimeError):
+            run("local t = nil return t.x")
+
+    def test_length_border(self):
+        assert run("local t = {1, 2, 3} return #t") == 3
+
+
+class TestScoping:
+    def test_local_shadows_outer(self):
+        source = """
+        local x = 1
+        do
+          local x = 2
+        end
+        return x
+        """
+        assert run(source) == 1
+
+    def test_assignment_reaches_enclosing_scope(self):
+        source = """
+        local x = 1
+        do
+          x = 2
+        end
+        return x
+        """
+        assert run(source) == 2
+
+    def test_undeclared_global_is_nil(self):
+        assert run("return undefined_thing == nil") is True
+
+    def test_loop_variable_is_fresh_each_iteration(self):
+        source = """
+        local fns = {}
+        for i = 1, 3 do
+          table.insert(fns, function() return i end)
+        end
+        return fns[1]() + fns[2]() + fns[3]()
+        """
+        assert run(source) == 6
+
+
+class TestInstructionBudget:
+    def test_infinite_loop_terminated(self):
+        with pytest.raises(InstructionLimitExceeded):
+            run("while true do end", limit=500)
+
+    def test_budget_resets_between_chunks(self):
+        interp = Interpreter(make_sandbox_globals(), instruction_limit=5_000)
+        chunk = parse("local s = 0 for i = 1, 100 do s = s + 1 end return s")
+        assert interp.run_chunk(chunk) == 100
+        assert interp.run_chunk(chunk) == 100  # second run gets a fresh budget
+
+    def test_instructions_counted(self):
+        interp = Interpreter(make_sandbox_globals())
+        interp.run_chunk(parse("return 1 + 1"))
+        assert interp.instructions_executed > 0
+
+    def test_tight_budget_allows_small_programs(self):
+        assert run("return 1 + 1", limit=50) == 2

@@ -1,0 +1,98 @@
+"""Unit tests for the Luette lexer."""
+
+import pytest
+
+from repro.aa.errors import LuetteSyntaxError
+from repro.aa.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def test_empty_source_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].type == "EOF"
+
+
+def test_numbers():
+    assert kinds("1 2.5 1e3 2E-2 0x1f") == [
+        ("NUMBER", 1.0), ("NUMBER", 2.5), ("NUMBER", 1000.0),
+        ("NUMBER", 0.02), ("NUMBER", 31.0),
+    ]
+
+
+def test_leading_dot_number():
+    assert kinds(".5")[0] == ("NUMBER", 0.5)
+
+
+def test_strings_both_quotes():
+    assert kinds("'a' \"b\"") == [("STRING", "a"), ("STRING", "b")]
+
+
+def test_string_escapes():
+    assert kinds(r'"a\nb\t\"q\""') == [("STRING", 'a\nb\t"q"')]
+
+
+def test_bad_escape_raises():
+    with pytest.raises(LuetteSyntaxError):
+        tokenize(r'"\q"')
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LuetteSyntaxError):
+        tokenize('"abc')
+    with pytest.raises(LuetteSyntaxError):
+        tokenize('"abc\ndef"')
+
+
+def test_keywords_vs_names():
+    tokens = kinds("if iffy end endx nil nilx")
+    assert tokens == [
+        ("KEYWORD", "if"), ("NAME", "iffy"), ("KEYWORD", "end"),
+        ("NAME", "endx"), ("KEYWORD", "nil"), ("NAME", "nilx"),
+    ]
+
+
+def test_multi_char_operators_maximal_munch():
+    assert [v for _, v in kinds("== ~= <= >= .. = < >")] == [
+        "==", "~=", "<=", ">=", "..", "=", "<", ">",
+    ]
+
+
+def test_comments_are_skipped():
+    assert kinds("1 -- a comment\n2") == [("NUMBER", 1.0), ("NUMBER", 2.0)]
+
+
+def test_long_comments_span_lines():
+    assert kinds("1 --[[ multi\nline ]] 2") == [("NUMBER", 1.0), ("NUMBER", 2.0)]
+
+
+def test_unterminated_long_comment_raises():
+    with pytest.raises(LuetteSyntaxError):
+        tokenize("--[[ never ends")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LuetteSyntaxError) as excinfo:
+        tokenize("a @ b")
+    assert excinfo.value.line == 1
+
+
+def test_underscore_names():
+    assert kinds("_x __y a_b") == [("NAME", "_x"), ("NAME", "__y"), ("NAME", "a_b")]
+
+
+def test_hash_length_operator():
+    assert kinds("#t")[0] == ("OP", "#")
+
+
+def test_malformed_hex_raises():
+    with pytest.raises(LuetteSyntaxError):
+        tokenize("0x")

@@ -1,0 +1,232 @@
+"""Unit tests for the Luette parser."""
+
+import pytest
+
+from repro.aa import ast_nodes as ast
+from repro.aa.errors import LuetteSyntaxError
+from repro.aa.parser import parse
+
+
+def only_statement(source):
+    chunk = parse(source)
+    assert len(chunk.statements) == 1
+    return chunk.statements[0]
+
+
+class TestExpressions:
+    def expr(self, source):
+        stmt = only_statement(f"return {source}")
+        assert isinstance(stmt, ast.Return)
+        return stmt.value
+
+    def test_literals(self):
+        assert self.expr("nil").value is None
+        assert self.expr("true").value is True
+        assert self.expr("false").value is False
+        assert self.expr("42").value == 42.0
+        assert self.expr("'hi'").value == "hi"
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_left_associativity(self):
+        node = self.expr("10 - 4 - 3")
+        assert node.op == "-"
+        assert node.left.op == "-"
+
+    def test_power_right_associative(self):
+        node = self.expr("2 ^ 3 ^ 2")
+        assert node.op == "^"
+        assert node.right.op == "^"
+
+    def test_concat_right_associative(self):
+        node = self.expr("'a' .. 'b' .. 'c'")
+        assert node.op == ".."
+        assert node.right.op == ".."
+
+    def test_comparison_below_and_or(self):
+        node = self.expr("a < b and c > d")
+        assert node.op == "and"
+        assert node.left.op == "<" and node.right.op == ">"
+
+    def test_or_binds_loosest(self):
+        node = self.expr("a and b or c")
+        assert node.op == "or"
+        assert node.left.op == "and"
+
+    def test_unary_not_above_comparison(self):
+        node = self.expr("not a == b")
+        assert node.op == "=="
+        assert isinstance(node.left, ast.UnOp) and node.left.op == "not"
+
+    def test_unary_minus_below_power(self):
+        node = self.expr("-a ^ 2")
+        assert isinstance(node, ast.UnOp) and node.op == "-"
+        assert node.operand.op == "^"
+
+    def test_parentheses_override(self):
+        node = self.expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_index_chain(self):
+        node = self.expr("a.b.c")
+        assert isinstance(node, ast.Index)
+        assert node.key.value == "c"
+        assert isinstance(node.obj, ast.Index)
+
+    def test_bracket_index(self):
+        node = self.expr("t[1 + 2]")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.key, ast.BinOp)
+
+    def test_call_with_args(self):
+        node = self.expr("f(1, 'x', g())")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+        assert isinstance(node.args[2], ast.Call)
+
+    def test_method_style_call_on_index(self):
+        node = self.expr("string.sub(s, 1, 3)")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.func, ast.Index)
+
+    def test_anonymous_function(self):
+        node = self.expr("function(x) return x end")
+        assert isinstance(node, ast.FunctionExpr)
+        assert node.params == ["x"]
+
+    def test_length_operator(self):
+        node = self.expr("#t")
+        assert isinstance(node, ast.UnOp) and node.op == "#"
+
+
+class TestTables:
+    def table(self, source):
+        node = only_statement(f"return {source}").value
+        assert isinstance(node, ast.TableConstructor)
+        return node
+
+    def test_array_part(self):
+        node = self.table("{1, 2, 3}")
+        assert len(node.array_items) == 3 and not node.keyed_items
+
+    def test_keyed_part(self):
+        node = self.table("{x = 1, ['y'] = 2}")
+        assert len(node.keyed_items) == 2
+
+    def test_mixed_with_semicolons(self):
+        node = self.table("{1; x = 2; 3}")
+        assert len(node.array_items) == 2 and len(node.keyed_items) == 1
+
+    def test_trailing_comma(self):
+        node = self.table("{1, 2,}")
+        assert len(node.array_items) == 2
+
+    def test_nested_tables(self):
+        node = self.table("{inner = {1}}")
+        assert isinstance(node.keyed_items[0][1], ast.TableConstructor)
+
+
+class TestStatements:
+    def test_local_multi_assignment(self):
+        stmt = only_statement("local a, b = 1, 2")
+        assert isinstance(stmt, ast.LocalAssign)
+        assert stmt.names == ["a", "b"] and len(stmt.values) == 2
+
+    def test_local_without_value(self):
+        stmt = only_statement("local a")
+        assert stmt.values == []
+
+    def test_global_assignment(self):
+        stmt = only_statement("x = 5")
+        assert isinstance(stmt, ast.Assign)
+
+    def test_parallel_swap(self):
+        stmt = only_statement("a, b = b, a")
+        assert len(stmt.targets) == 2 and len(stmt.values) == 2
+
+    def test_index_assignment(self):
+        stmt = only_statement("t.x = 1")
+        assert isinstance(stmt.targets[0], ast.Index)
+
+    def test_cannot_assign_to_call(self):
+        with pytest.raises(LuetteSyntaxError):
+            parse("f() = 1")
+
+    def test_expression_statement_must_be_call(self):
+        with pytest.raises(LuetteSyntaxError):
+            parse("1 + 2")
+
+    def test_if_elseif_else(self):
+        stmt = only_statement("if a then x = 1 elseif b then x = 2 else x = 3 end")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.arms) == 2
+        assert stmt.orelse is not None
+
+    def test_while(self):
+        stmt = only_statement("while a do b = 1 end")
+        assert isinstance(stmt, ast.While)
+
+    def test_numeric_for_with_step(self):
+        stmt = only_statement("for i = 1, 10, 2 do x = i end")
+        assert isinstance(stmt, ast.NumericFor)
+        assert stmt.step is not None
+
+    def test_generic_for(self):
+        stmt = only_statement("for k, v in pairs(t) do x = k end")
+        assert isinstance(stmt, ast.GenericFor)
+        assert stmt.names == ["k", "v"]
+
+    def test_function_declaration(self):
+        stmt = only_statement("function f(a, b) return a end")
+        assert isinstance(stmt, ast.FunctionDecl)
+        assert stmt.func.params == ["a", "b"]
+        assert not stmt.is_local
+
+    def test_dotted_function_declaration(self):
+        stmt = only_statement("function t.f() end")
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_local_function(self):
+        stmt = only_statement("local function f() end")
+        assert stmt.is_local
+
+    def test_local_function_cannot_be_dotted(self):
+        with pytest.raises(LuetteSyntaxError):
+            parse("local function a.b() end")
+
+    def test_return_ends_block(self):
+        chunk = parse("return 1")
+        assert isinstance(chunk.statements[-1], ast.Return)
+
+    def test_bare_return(self):
+        stmt = only_statement("return")
+        assert stmt.value is None
+
+    def test_break(self):
+        chunk = parse("while true do break end")
+        loop = chunk.statements[0]
+        assert isinstance(loop.body.statements[-1], ast.Break)
+
+    def test_do_block(self):
+        stmt = only_statement("do x = 1 end")
+        assert isinstance(stmt, ast.Block)
+
+    def test_semicolons_skipped(self):
+        chunk = parse("x = 1; y = 2;;")
+        assert len(chunk.statements) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LuetteSyntaxError):
+            parse("x = 1 end")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(LuetteSyntaxError):
+            parse("if a then x = 1")
+
+    def test_missing_then_rejected(self):
+        with pytest.raises(LuetteSyntaxError):
+            parse("if a x = 1 end")

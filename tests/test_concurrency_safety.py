@@ -1,0 +1,123 @@
+"""Concurrency safety: overlapping queries must never double-allocate."""
+
+import pytest
+
+from repro.core.plane import RBay, RBayConfig
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+
+
+@pytest.fixture
+def arena():
+    plane = RBay(RBayConfig(seed=404, nodes_per_site=20, jitter=False)).build()
+    workload = FederationWorkload(plane, WorkloadSpec(password="pw")).apply()
+    plane.sim.run()
+    return plane, workload
+
+
+def popular(workload):
+    counts = workload.instance_population()
+    return max(counts, key=counts.get)
+
+
+class TestNoDoubleAllocation:
+    def test_concurrent_winners_get_disjoint_nodes(self, arena):
+        plane, workload = arena
+        itype = popular(workload)
+        customers = [
+            plane.make_customer(f"c{i}", site.name)
+            for i, site in enumerate(plane.registry)
+        ]
+        futures = [
+            customer.request(
+                f"SELECT 2 FROM * WHERE instance_type = '{itype}';",
+                payload={"password": "pw"},
+            )
+            for customer in customers
+        ]
+        outcomes = [future.result() for future in futures]
+        winners = [o for o in outcomes if o.satisfied]
+        assert winners, "expected at least one satisfied customer"
+        allocated = []
+        for outcome in winners:
+            allocated.extend(outcome.node_ids())
+        assert len(allocated) == len(set(allocated)), "node double-allocated"
+
+    def test_every_commit_has_exactly_one_holder(self, arena):
+        plane, workload = arena
+        itype = popular(workload)
+        customers = [plane.make_customer(f"d{i}", "Virginia") for i in range(4)]
+        futures = [
+            customer.request(
+                f"SELECT 3 FROM Virginia WHERE instance_type = '{itype}';",
+                payload={"password": "pw"},
+            )
+            for customer in customers
+        ]
+        outcomes = [f.result() for f in futures]
+        plane.sim.run()
+        committed = [n for n in plane.site_nodes("Virginia")
+                     if n.reservation.committed]
+        # Each committed node belongs to exactly one winner's result.
+        holders = {}
+        for outcome in outcomes:
+            if not outcome.satisfied:
+                continue
+            for entry in outcome.result.entries:
+                assert entry["address"] not in holders
+                holders[entry["address"]] = outcome
+        assert {n.address for n in committed} == set(holders)
+
+    def test_unsatisfied_outcomes_hold_nothing(self, arena):
+        plane, workload = arena
+        itype = popular(workload)
+        site_count = workload.site_instance_population("Tokyo")[itype]
+        # Demand more than exists: everyone fails, nothing stays locked.
+        customers = [plane.make_customer(f"e{i}", "Tokyo", max_attempts=2)
+                     for i in range(3)]
+        futures = [
+            c.request(
+                f"SELECT {site_count + 5} FROM Tokyo "
+                f"WHERE instance_type = '{itype}';",
+                payload={"password": "pw"},
+            )
+            for c in customers
+        ]
+        outcomes = [f.result() for f in futures]
+        assert all(not o.satisfied for o in outcomes)
+        # After the reservation hold window, every node is free again.
+        plane.settle(plane.config.reservation_hold_ms + 100.0)
+        for node in plane.site_nodes("Tokyo"):
+            assert node.reservation.is_free()
+
+    def test_release_makes_capacity_reusable(self, arena):
+        plane, workload = arena
+        itype = popular(workload)
+        customer = plane.make_customer("f0", "Oregon")
+        sql = f"SELECT 2 FROM Oregon WHERE instance_type = '{itype}';"
+        first = customer.query_once(sql, payload={"password": "pw"}).result()
+        assert first.satisfied
+        plane.sim.run()
+        customer.release_all(first)
+        plane.sim.run()
+        second = customer.query_once(sql, payload={"password": "pw"}).result()
+        assert second.satisfied
+
+    def test_interleaved_queries_with_distinct_types_do_not_interfere(self, arena):
+        plane, workload = arena
+        counts = workload.instance_population()
+        # Two different types with enough supply.
+        types = sorted(counts, key=counts.get, reverse=True)[:2]
+        a = plane.make_customer("g0", "Ireland")
+        b = plane.make_customer("g1", "Ireland")
+        fa = a.request(f"SELECT 2 FROM * WHERE instance_type = '{types[0]}';",
+                       payload={"password": "pw"})
+        fb = b.request(f"SELECT 2 FROM * WHERE instance_type = '{types[1]}';",
+                       payload={"password": "pw"})
+        oa, ob = fa.result(), fb.result()
+        assert oa.satisfied and ob.satisfied
+        for entry in oa.result.entries:
+            node = plane.network.host(entry["address"])
+            assert node.attribute_value("instance_type") == types[0]
+        for entry in ob.result.entries:
+            node = plane.network.host(entry["address"])
+            assert node.attribute_value("instance_type") == types[1]

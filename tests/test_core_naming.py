@@ -1,0 +1,103 @@
+"""Unit tests for tree naming and the hybrid hierarchy."""
+
+import pytest
+
+from repro.core.naming import (
+    AttributeHierarchy,
+    instance_tree,
+    predicate_tree_name,
+    site_tree,
+)
+
+
+class TestTreeNames:
+    def test_equality_tree(self):
+        assert predicate_tree_name("CPU_model", "=", "Intel Core i7") == \
+            "CPU_model=Intel Core i7"
+
+    def test_boolean_true_collapses_to_attribute_tree(self):
+        assert predicate_tree_name("GPU", "=", True) == "GPU"
+
+    def test_threshold_tree(self):
+        assert predicate_tree_name("CPU_utilization", "<", 10.0) == \
+            "CPU_utilization<10"
+        assert predicate_tree_name("CPU_utilization", "<", 10) == \
+            "CPU_utilization<10"
+
+    def test_site_tree_prefixes(self):
+        assert site_tree("Tokyo", "GPU") == "Tokyo/GPU"
+
+    def test_instance_tree_uses_canonical_equality_form(self):
+        assert instance_tree("Virginia", "c3.large") == \
+            "Virginia/instance_type=c3.large"
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def hierarchy(self):
+        h = AttributeHierarchy()
+        h.link("CPU/Intel", "CPU")
+        h.link("CPU/AMD", "CPU")
+        h.link("CPU/Intel/i7", "CPU/Intel")
+        h.link("CPU/Intel/i5", "CPU/Intel")
+        return h
+
+    def test_expand_includes_descendants(self, hierarchy):
+        trees = set(hierarchy.expand("CPU"))
+        assert trees == {"CPU", "CPU/Intel", "CPU/AMD", "CPU/Intel/i7", "CPU/Intel/i5"}
+
+    def test_expand_subtree(self, hierarchy):
+        assert set(hierarchy.expand("CPU/Intel")) == \
+            {"CPU/Intel", "CPU/Intel/i7", "CPU/Intel/i5"}
+
+    def test_expand_leaf_is_itself(self, hierarchy):
+        assert hierarchy.expand("CPU/AMD") == ["CPU/AMD"]
+
+    def test_expand_unknown_is_itself(self, hierarchy):
+        assert hierarchy.expand("Disk") == ["Disk"]
+
+    def test_parent_children(self, hierarchy):
+        assert hierarchy.parent("CPU/Intel") == "CPU"
+        assert hierarchy.parent("CPU") is None
+        assert hierarchy.children("CPU/Intel") == ["CPU/Intel/i5", "CPU/Intel/i7"]
+
+    def test_roots(self, hierarchy):
+        assert hierarchy.roots() == ["CPU"]
+
+    def test_is_known(self, hierarchy):
+        assert hierarchy.is_known("CPU")
+        assert hierarchy.is_known("CPU/Intel/i7")
+        assert not hierarchy.is_known("GPU")
+
+    def test_self_link_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.link("X", "X")
+
+    def test_cycle_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.link("CPU", "CPU/Intel/i7")
+
+    def test_relink_moves_subtree(self, hierarchy):
+        hierarchy.link("CPU/Intel/i7", "CPU/AMD")  # contrived but legal
+        assert hierarchy.parent("CPU/Intel/i7") == "CPU/AMD"
+        assert "CPU/Intel/i7" not in hierarchy.children("CPU/Intel")
+
+    def test_unlink(self, hierarchy):
+        hierarchy.unlink("CPU/Intel/i7")
+        assert hierarchy.parent("CPU/Intel/i7") is None
+        assert "CPU/Intel/i7" not in hierarchy.expand("CPU")
+
+    def test_tree_count(self, hierarchy):
+        assert hierarchy.tree_count() == 5
+
+    def test_hybrid_avoids_duplicate_trees(self):
+        """The paper's motivating example: Intel CPU / AMD CPU / CPU would
+        be three overlapping flat trees; the hierarchy keeps the overlap
+        structural instead of duplicated membership."""
+        flat_tree_count = 3  # CPU + Intel-CPU + AMD-CPU, all with members
+        h = AttributeHierarchy()
+        h.link("CPU/Intel", "CPU")
+        h.link("CPU/AMD", "CPU")
+        # Members live only in leaves; CPU itself needs no member list.
+        leaf_trees = [t for t in h.expand("CPU") if not h.children(t)]
+        assert len(leaf_trees) == 2 < flat_tree_count

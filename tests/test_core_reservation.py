@@ -1,0 +1,103 @@
+"""Unit tests for the reservation table."""
+
+import pytest
+
+from repro.core.reservation import ReservationTable
+
+
+@pytest.fixture
+def table(sim):
+    return ReservationTable(sim, hold_ms=100.0)
+
+
+def test_initially_free(table):
+    assert table.is_free()
+    assert table.holder() is None
+
+
+def test_reserve_takes_lock(table):
+    assert table.try_reserve(1)
+    assert not table.is_free()
+    assert table.holder() == 1
+
+
+def test_conflicting_reservation_rejected(table):
+    table.try_reserve(1)
+    assert not table.try_reserve(2)
+
+
+def test_same_query_reservation_idempotent(table):
+    assert table.try_reserve(1)
+    assert table.try_reserve(1)
+
+
+def test_reservation_expires_after_hold_window(sim, table):
+    table.try_reserve(1)
+    sim.schedule(150.0, lambda: None)
+    sim.run()
+    assert table.is_free()
+    assert table.try_reserve(2)
+
+
+def test_reserve_refreshes_expiry(sim, table):
+    table.try_reserve(1)
+    sim.schedule(80.0, table.try_reserve, 1)  # refresh at t=80
+    sim.run()
+    # At t=150 (70ms after refresh) still held.
+    sim.schedule(70.0, lambda: None)
+    sim.run()
+    assert table.holder() == 1
+
+
+def test_commit_converts_to_lease(sim, table):
+    table.try_reserve(1)
+    assert table.commit(1, lease_ms=1000.0)
+    assert table.committed
+    # Reservations would have expired by now, but the lease holds.
+    sim.schedule(500.0, lambda: None)
+    sim.run()
+    assert table.holder() == 1
+
+
+def test_commit_by_non_holder_rejected(table):
+    table.try_reserve(1)
+    assert not table.commit(2, lease_ms=100.0)
+
+
+def test_commit_without_reservation_rejected(table):
+    assert not table.commit(1, lease_ms=100.0)
+
+
+def test_lease_expires(sim, table):
+    table.try_reserve(1)
+    table.commit(1, lease_ms=200.0)
+    sim.schedule(250.0, lambda: None)
+    sim.run()
+    assert table.is_free()
+    assert not table.committed
+
+
+def test_release_frees_lock(table):
+    table.try_reserve(1)
+    assert table.release(1)
+    assert table.is_free()
+
+
+def test_release_by_non_holder_rejected(table):
+    table.try_reserve(1)
+    assert not table.release(2)
+    assert table.holder() == 1
+
+
+def test_release_lease(sim, table):
+    table.try_reserve(1)
+    table.commit(1, lease_ms=10_000.0)
+    assert table.release(1)
+    assert table.is_free()
+
+
+def test_expired_reservation_cannot_commit(sim, table):
+    table.try_reserve(1)
+    sim.schedule(150.0, lambda: None)
+    sim.run()
+    assert not table.commit(1, lease_ms=100.0)

@@ -1,0 +1,126 @@
+"""Tests for the Mariposa-style economic layer."""
+
+import pytest
+
+from repro.core.plane import RBay, RBayConfig
+from repro.ext.economy import (
+    CostAwareCustomer,
+    MarketLedger,
+    PRICE_ATTRIBUTE,
+    post_priced_resource,
+    reprice,
+)
+
+
+@pytest.fixture
+def market():
+    plane = RBay(RBayConfig(seed=321, nodes_per_site=10, jitter=False)).build()
+    plane.sim.run()
+    admin = plane.admin("Virginia")
+    prices = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+    nodes = plane.site_nodes("Virginia")[: len(prices)]
+    for node, price in zip(nodes, prices):
+        post_priced_resource(admin, node, "GPU", True, price)
+    plane.sim.run()
+    return plane, nodes, prices
+
+
+def make_buyer(plane, wallet, ledger=None, name="buyer"):
+    return CostAwareCustomer(
+        name, plane.site_nodes("Virginia")[0],
+        plane.streams.stream(f"econ-{name}-{wallet}"), wallet=wallet, ledger=ledger,
+    )
+
+
+class TestPricedPosting:
+    def test_price_attribute_advertised(self, market):
+        plane, nodes, prices = market
+        for node, price in zip(nodes, prices):
+            assert node.attribute_value(PRICE_ATTRIBUTE) == price
+
+    def test_gate_enforces_budget(self, market):
+        plane, nodes, prices = market
+        node = nodes[3]  # price 40
+        assert node.authorize("joe", {"budget": 45.0}) is not None
+        assert node.authorize("joe", {"budget": 35.0}) is None
+
+
+class TestCostAwareBuying:
+    def test_buys_cheapest_k(self, market):
+        plane, nodes, prices = market
+        ledger = MarketLedger()
+        buyer = make_buyer(plane, wallet=100.0, ledger=ledger)
+        result = buyer.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        assert result.satisfied
+        paid = sorted(e["order_value"] for e in result.entries)
+        assert paid == [10.0, 20.0]
+        assert buyer.wallet == pytest.approx(70.0)
+        assert ledger.spend_of("buyer") == pytest.approx(30.0)
+        assert ledger.revenue_of("Virginia") == pytest.approx(30.0)
+        assert ledger.volume() == 2
+
+    def test_wallet_limits_purchases(self, market):
+        plane, nodes, prices = market
+        buyer = make_buyer(plane, wallet=25.0, name="poor")
+        result = buyer.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        # 10 + 20 = 30 > 25: cannot afford two nodes.
+        assert not result.satisfied
+        assert result.entries == []
+        assert buyer.wallet == pytest.approx(25.0)  # nothing charged
+
+    def test_per_node_gate_blocks_expensive_nodes(self, market):
+        plane, nodes, prices = market
+        # Wallet 35: the 40/50/60 nodes deny at the gate; 10/20/30 pass.
+        buyer = make_buyer(plane, wallet=35.0, name="mid")
+        result = buyer.buy("SELECT 3 FROM Virginia WHERE GPU = true;").result()
+        # 10+20 = 30 <= 35, but adding 30 exceeds the wallet => only 2 kept,
+        # so 3 cannot be satisfied.
+        assert not result.satisfied
+
+    def test_surplus_reservations_released(self, market):
+        plane, nodes, prices = market
+        buyer = make_buyer(plane, wallet=1000.0, name="rich")
+        result = buyer.buy("SELECT 1 FROM Virginia WHERE GPU = true;").result()
+        assert result.satisfied and len(result.entries) == 1
+        plane.sim.run()
+        held = [n for n in nodes if not n.reservation.is_free()]
+        assert len(held) == 1
+
+    def test_sequential_buyers_share_market(self, market):
+        plane, nodes, prices = market
+        ledger = MarketLedger()
+        first = make_buyer(plane, wallet=100.0, ledger=ledger, name="a")
+        second = make_buyer(plane, wallet=100.0, ledger=ledger, name="b")
+        ra = first.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        plane.sim.run()
+        rb = second.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        assert ra.satisfied and rb.satisfied
+        taken_a = {e["address"] for e in ra.entries}
+        taken_b = {e["address"] for e in rb.entries}
+        assert not taken_a & taken_b
+        # Second buyer pays more: the cheap nodes are leased out.
+        assert ledger.spend_of("b") > ledger.spend_of("a")
+
+
+class TestRepricing:
+    def test_reprice_updates_gate_and_advertisement(self, market):
+        plane, nodes, prices = market
+        admin = plane.admin("Virginia")
+        reprice(admin, nodes[0], "GPU", 5.0)
+        plane.sim.run()
+        for node in nodes:
+            assert node.attribute_value(PRICE_ATTRIBUTE) == 5.0
+            assert node.authorize("joe", {"budget": 6.0}) is not None
+
+    def test_cheaper_prices_open_the_market(self, market):
+        plane, nodes, prices = market
+        buyer = make_buyer(plane, wallet=15.0, name="tiny")
+        before = buyer.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        assert not before.satisfied
+        plane.sim.run()
+        admin = plane.admin("Virginia")
+        reprice(admin, nodes[0], "GPU", 5.0)
+        plane.sim.run()
+        after = buyer.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        assert after.satisfied
+        assert buyer.wallet == pytest.approx(5.0)

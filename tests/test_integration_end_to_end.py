@@ -1,0 +1,190 @@
+"""End-to-end scenarios: the paper's motivating use case and failure drills."""
+
+import pytest
+
+from repro.core.naming import site_tree
+from repro.core.plane import RBay, RBayConfig
+from repro.core.policies import acl_policy, credit_policy, time_window_policy
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+
+
+class TestMotivatingScenario:
+    """Figure 1: Grace, James and Kevin share under different policies;
+    Joe queries across all three."""
+
+    @pytest.fixture(scope="class")
+    def federation(self):
+        plane = RBay(RBayConfig(seed=61, nodes_per_site=8, jitter=False)).build()
+        plane.sim.run()
+        grace = plane.admin("Virginia")     # time window
+        james = plane.admin("Oregon")       # ACL
+        kevin = plane.admin("California")   # credit history
+        for node in plane.site_nodes("Virginia")[:4]:
+            grace.set_gate_policy(node, time_window_policy(node.node_id.value, 22, 6))
+            grace.post_resource(node, "Matlab", "8.0")
+        for node in plane.site_nodes("Oregon")[:4]:
+            james.set_gate_policy(node, acl_policy(node.node_id.value, ["joe"]))
+            james.post_resource(node, "Matlab", "8.0")
+        for node in plane.site_nodes("California")[:4]:
+            kevin.set_gate_policy(node, credit_policy(node.node_id.value, 0.7))
+            kevin.post_resource(node, "Matlab", "8.0")
+        plane.sim.run()
+        return plane
+
+    def sql(self):
+        return ("SELECT 12 FROM Virginia, Oregon, California "
+                "WHERE Matlab = '8.0';")
+
+    def test_joe_with_good_standing_by_night(self, federation):
+        joe = federation.make_customer("joe", "Virginia")
+        result = joe.query_once(self.sql(), payload={
+            "hour": 23, "credit": 0.9,
+        }).result()
+        sites = {entry["site"] for entry in result.entries}
+        assert sites == {"Virginia", "Oregon", "California"}
+        assert len(result.entries) == 12
+        joe.release_all(result)
+        federation.sim.run()
+
+    def test_daytime_hides_graces_nodes(self, federation):
+        joe = federation.make_customer("joe", "Virginia")
+        result = joe.query_once(self.sql(), payload={
+            "hour": 12, "credit": 0.9,
+        }).result()
+        sites = {entry["site"] for entry in result.entries}
+        assert "Virginia" not in sites
+        assert {"Oregon", "California"} <= sites
+        joe.release_all(result)
+        federation.sim.run()
+
+    def test_stranger_blocked_by_james_acl(self, federation):
+        mallory = federation.make_customer("mallory", "Virginia")
+        result = mallory.query_once(self.sql(), payload={
+            "hour": 23, "credit": 0.9,
+        }).result()
+        sites = {entry["site"] for entry in result.entries}
+        assert "Oregon" not in sites
+        mallory.release_all(result)
+        federation.sim.run()
+
+    def test_bad_credit_blocked_by_kevin(self, federation):
+        joe = federation.make_customer("joe", "Virginia")
+        result = joe.query_once(self.sql(), payload={
+            "hour": 23, "credit": 0.2,
+        }).result()
+        sites = {entry["site"] for entry in result.entries}
+        assert "California" not in sites
+
+
+class TestFailureInjection:
+    @pytest.fixture
+    def federation(self):
+        plane = RBay(RBayConfig(seed=62, nodes_per_site=15, jitter=False,
+                                maintenance_interval_ms=500.0)).build()
+        workload = FederationWorkload(plane, WorkloadSpec(password="pw")).apply()
+        plane.sim.run()
+        return plane, workload
+
+    def _popular(self, workload, site):
+        counts = workload.site_instance_population(site)
+        return max(counts, key=counts.get)
+
+    def test_queries_survive_random_node_failures(self, federation):
+        plane, workload = federation
+        rng = plane.streams.stream("killer")
+        itype = self._popular(workload, "Virginia")
+        survivors_needed = 1
+        # Kill 15% of all nodes (avoiding query-interface bookkeeping).
+        victims = rng.sample(plane.nodes, len(plane.nodes) * 15 // 100)
+        for victim in victims:
+            victim.fail()
+        plane.start_maintenance()
+        plane.settle(3_000.0)
+        live_virginia = [n for n in plane.site_nodes("Virginia") if n.alive]
+        customer = plane.make_customer("joe", "Virginia", home=live_virginia[0])
+        result = customer.query_once(
+            f"SELECT {survivors_needed} FROM Virginia WHERE instance_type = '{itype}';",
+            payload={"password": "pw"},
+        ).result()
+        matching_alive = [
+            n for n in live_virginia if n.attribute_value("instance_type") == itype
+        ]
+        if matching_alive:
+            assert result.satisfied
+        plane.stop_maintenance()
+
+    def test_gateway_failure_drops_site_but_not_query(self, federation):
+        plane, workload = federation
+        itype = self._popular(workload, "Virginia")
+        tokyo_gateway = plane.context.gateways["Tokyo"]
+        plane.network.host(tokyo_gateway).fail()
+        customer = plane.make_customer("joe", "Virginia")
+        result = customer.query_once(
+            f"SELECT 1 FROM * WHERE instance_type = '{itype}';",
+            payload={"password": "pw"},
+        ).result()
+        # Query completes; Tokyo silently contributes nothing.
+        assert result.satisfied
+        assert "Tokyo" not in result.sites_answered or not any(
+            e["site"] == "Tokyo" for e in result.entries
+        )
+
+    def test_reserved_node_failure_does_not_wedge_future_queries(self, federation):
+        plane, workload = federation
+        itype = self._popular(workload, "Oregon")
+        customer = plane.make_customer("joe", "Oregon")
+        first = customer.query_once(
+            f"SELECT 1 FROM Oregon WHERE instance_type = '{itype}';",
+            payload={"password": "pw"},
+        ).result()
+        assert first.satisfied
+        plane.network.host(first.entries[0]["address"]).fail()
+        plane.start_maintenance()
+        plane.settle(3_000.0)
+        plane.stop_maintenance()
+        second = customer.query_once(
+            f"SELECT 1 FROM Oregon WHERE instance_type = '{itype}';",
+            payload={"password": "pw"},
+        ).result()
+        alive_matches = [
+            n for n in plane.site_nodes("Oregon")
+            if n.alive and n.attribute_value("instance_type") == itype
+        ]
+        if alive_matches:
+            assert second.satisfied
+            assert second.entries[0]["address"] != first.entries[0]["address"]
+
+
+class TestDynamicMembership:
+    def test_new_node_becomes_discoverable(self):
+        plane = RBay(RBayConfig(seed=63, nodes_per_site=8, jitter=False)).build()
+        plane.sim.run()
+        newcomer = plane.add_node(plane.registry.by_name("Ireland"),
+                                  join_via=plane.nodes[0])
+        plane.sim.run()
+        admin = plane.admin("Ireland")
+        admin.nodes.append(newcomer)
+        admin.post_resource(newcomer, "FPGA", True)
+        plane.sim.run()
+        customer = plane.make_customer("joe", "Ireland")
+        result = customer.query_once(
+            "SELECT 1 FROM Ireland WHERE FPGA = true;").result()
+        assert result.satisfied
+        assert result.entries[0]["address"] == newcomer.address
+
+    def test_departed_node_disappears_from_results(self):
+        plane = RBay(RBayConfig(seed=64, nodes_per_site=8, jitter=False,
+                                maintenance_interval_ms=400.0)).build()
+        plane.sim.run()
+        admin = plane.admin("Tokyo")
+        node = plane.site_nodes("Tokyo")[3]
+        admin.post_resource(node, "FPGA", True)
+        plane.sim.run()
+        node.fail()
+        plane.start_maintenance()
+        plane.settle(3_000.0)
+        plane.stop_maintenance()
+        customer = plane.make_customer("joe", "Tokyo")
+        result = customer.query_once(
+            "SELECT 1 FROM Tokyo WHERE FPGA = true;").result()
+        assert not result.satisfied

@@ -1,0 +1,165 @@
+"""Unit tests for the simulated network."""
+
+import random
+
+import pytest
+
+from repro.net.latency import UniformLatencyModel, make_ec2_registry
+from repro.net.message import Message
+from repro.net.network import Host, Network, NetworkError
+
+
+class Recorder(Host):
+    def __init__(self, site):
+        super().__init__(site)
+        self.received = []
+
+    def on_message(self, msg):
+        self.received.append((msg, self.network.sim.now))
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, UniformLatencyModel(1.5))
+
+
+@pytest.fixture
+def hosts(net, registry):
+    pair = [Recorder(registry[0]), Recorder(registry[1])]
+    for host in pair:
+        net.attach(host)
+    return pair
+
+
+def test_attach_assigns_sequential_addresses(net, registry):
+    a = Recorder(registry[0])
+    b = Recorder(registry[0])
+    assert net.attach(a) == 0
+    assert net.attach(b) == 1
+    assert net.host(0) is a and net.host(1) is b
+
+
+def test_unknown_address_raises(net):
+    with pytest.raises(NetworkError):
+        net.host(99)
+
+
+def test_delivery_with_model_latency(sim, net, hosts):
+    a, b = hosts
+    a.send(b.address, Message(kind="ping"))
+    sim.run()
+    assert len(b.received) == 1
+    _, at = b.received[0]
+    assert at == 1.5
+
+
+def test_message_src_dst_filled(sim, net, hosts):
+    a, b = hosts
+    a.send(b.address, Message(kind="ping"))
+    sim.run()
+    msg, _ = b.received[0]
+    assert msg.src == a.address and msg.dst == b.address
+
+
+def test_send_to_missing_host_drops(sim, net, hosts):
+    a, _ = hosts
+    a.send(1234, Message(kind="ping"))
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_detached_host_receives_nothing(sim, net, hosts):
+    a, b = hosts
+    a.send(b.address, Message(kind="ping"))
+    net.detach(b)
+    sim.run()
+    assert b.received == []
+    assert net.messages_dropped == 1
+
+
+def test_detach_then_send_also_drops(sim, net, hosts):
+    a, b = hosts
+    net.detach(b)
+    a.send(b.address, Message(kind="ping"))
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_loss_rate_drops_fraction(sim, registry):
+    net = Network(sim, UniformLatencyModel(0.1), loss_rate=0.5,
+                  loss_rng=random.Random(0))
+    a, b = Recorder(registry[0]), Recorder(registry[0])
+    net.attach(a), net.attach(b)
+    for _ in range(400):
+        a.send(b.address, Message(kind="ping"))
+    sim.run()
+    assert 120 < len(b.received) < 280  # ~200 expected
+
+
+def test_loss_rate_without_rng_rejected(sim):
+    with pytest.raises(NetworkError):
+        Network(sim, UniformLatencyModel(), loss_rate=0.1)
+
+
+def test_traffic_counters(sim, net, hosts):
+    a, b = hosts
+    for _ in range(3):
+        a.send(b.address, Message(kind="ping", payload={"x": 1}))
+    sim.run()
+    assert net.messages_sent == 3
+    assert net.messages_delivered == 3
+    assert net.per_host_sent[a.address] == 3
+    assert net.per_host_received[b.address] == 3
+    assert net.per_host_bytes_in[b.address] > 0
+    net.reset_counters()
+    assert net.messages_sent == 0
+    assert net.per_host_received[b.address] == 0
+
+
+def test_delivery_hook_observes(sim, net, hosts):
+    a, b = hosts
+    seen = []
+    net.set_delivery_hook(lambda m: seen.append(m.kind))
+    a.send(b.address, Message(kind="ping"))
+    sim.run()
+    assert seen == ["ping"]
+
+
+def test_trace_collects_path(sim, net, hosts):
+    a, b = hosts
+    msg = Message(kind="ping", trace=[])
+    a.send(b.address, msg)
+    sim.run()
+    assert msg.trace == [b.address]
+
+
+def test_send_requires_attachment(registry):
+    host = Recorder(registry[0])
+    with pytest.raises(NetworkError):
+        host.send(0, Message(kind="ping"))
+
+
+def test_host_count(net, hosts):
+    assert net.host_count == 2
+
+
+class TestMessage:
+    def test_size_accounts_for_payload(self):
+        small = Message(kind="a", payload={})
+        big = Message(kind="a", payload={"data": "x" * 1000})
+        assert big.size_bytes() > small.size_bytes() + 900
+
+    def test_size_handles_nested_containers(self):
+        msg = Message(kind="a", payload={"list": [1, 2, {"k": "v"}], "none": None})
+        assert msg.size_bytes() > 0
+
+    def test_unique_ids(self):
+        assert Message(kind="a").msg_id != Message(kind="a").msg_id
+
+    def test_fork_copies_payload_and_updates(self):
+        original = Message(kind="k", payload={"a": 1}, hops=3)
+        forked = original.fork(b=2)
+        assert forked.payload == {"a": 1, "b": 2}
+        assert forked.hops == 3
+        assert forked.msg_id != original.msg_id
+        assert original.payload == {"a": 1}

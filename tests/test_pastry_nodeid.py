@@ -1,0 +1,116 @@
+"""Unit tests for NodeId arithmetic."""
+
+import random
+
+import pytest
+
+from repro.pastry.nodeid import BASE, BITS, DIGITS, NodeId, as_node_id
+
+
+def test_constants():
+    assert BITS == 128 and BASE == 16 and DIGITS == 32
+
+
+def test_value_wraps_to_128_bits():
+    assert NodeId(1 << 128).value == 0
+    assert NodeId((1 << 128) + 5).value == 5
+
+
+def test_from_key_deterministic():
+    assert NodeId.from_key("10.0.0.1") == NodeId.from_key("10.0.0.1")
+    assert NodeId.from_key("10.0.0.1") != NodeId.from_key("10.0.0.2")
+
+
+def test_random_uses_rng():
+    a = NodeId.random(random.Random(1))
+    b = NodeId.random(random.Random(1))
+    assert a == b
+
+
+def test_digit_extraction():
+    node_id = NodeId(int("a" + "0" * 31, 16))
+    assert node_id.digit(0) == 0xA
+    assert node_id.digit(1) == 0x0
+    assert node_id.digit(31) == 0x0
+
+
+def test_digit_out_of_range():
+    with pytest.raises(IndexError):
+        NodeId(0).digit(32)
+    with pytest.raises(IndexError):
+        NodeId(0).digit(-1)
+
+
+def test_shared_prefix_identical():
+    node_id = NodeId(12345)
+    assert node_id.shared_prefix_len(node_id) == DIGITS
+
+
+def test_shared_prefix_first_digit_differs():
+    a = NodeId(int("a" + "0" * 31, 16))
+    b = NodeId(int("b" + "0" * 31, 16))
+    assert a.shared_prefix_len(b) == 0
+
+
+def test_shared_prefix_partial():
+    a = NodeId(int("ab" + "0" * 30, 16))
+    b = NodeId(int("ac" + "0" * 30, 16))
+    assert a.shared_prefix_len(b) == 1
+
+
+def test_shared_prefix_differs_within_digit():
+    # Same high bits of the digit but different low bit: still 0 shared digits
+    # only if the differing bit falls in digit 0.
+    a = NodeId(0)
+    b = NodeId(1)
+    assert a.shared_prefix_len(b) == 31
+
+
+def test_distance_is_circular():
+    a = NodeId(0)
+    b = NodeId((1 << 128) - 1)
+    assert a.distance(b) == 1
+
+
+def test_distance_symmetric():
+    a, b = NodeId(100), NodeId(5000)
+    assert a.distance(b) == b.distance(a) == 4900
+
+
+def test_clockwise_distance():
+    a, b = NodeId(10), NodeId(4)
+    assert b.clockwise_distance(a) == 6
+    assert a.clockwise_distance(b) == (1 << 128) - 6
+
+
+def test_is_between_simple_arc():
+    assert NodeId(5).is_between(NodeId(1), NodeId(10))
+    assert not NodeId(11).is_between(NodeId(1), NodeId(10))
+
+
+def test_is_between_wrapping_arc():
+    low, high = NodeId((1 << 128) - 5), NodeId(5)
+    assert NodeId(0).is_between(low, high)
+    assert NodeId((1 << 128) - 1).is_between(low, high)
+    assert not NodeId(500).is_between(low, high)
+
+
+def test_hex_width():
+    assert len(NodeId(255).hex()) == 32
+    assert NodeId(255).hex().endswith("ff")
+
+
+def test_ordering_and_hash():
+    a, b = NodeId(1), NodeId(2)
+    assert a < b and a <= b and a != b
+    assert len({NodeId(7), NodeId(7)}) == 1
+
+
+def test_int_conversion():
+    assert int(NodeId(42)) == 42
+
+
+def test_as_node_id_coercion():
+    assert as_node_id(5) == NodeId(5)
+    existing = NodeId(9)
+    assert as_node_id(existing) is existing

@@ -1,0 +1,160 @@
+"""Unit tests for the routing table and leaf set."""
+
+import pytest
+
+from repro.pastry.leafset import LeafSet
+from repro.pastry.nodeid import DIGITS, NodeId
+from repro.pastry.routing_table import NodeRef, RoutingTable
+
+
+def make_id(hex_prefix: str) -> NodeId:
+    return NodeId(int(hex_prefix.ljust(32, "0"), 16))
+
+
+def ref(node_id: NodeId, address: int, proximity: float = 1.0) -> NodeRef:
+    return NodeRef(node_id, address, 0, proximity)
+
+
+class TestRoutingTable:
+    def test_add_places_by_prefix(self):
+        owner = make_id("a0")
+        table = RoutingTable(owner)
+        peer = ref(make_id("b0"), 1)
+        assert table.add(peer)
+        assert table.entry(0, 0xB) is peer
+
+    def test_add_second_row(self):
+        owner = make_id("ab")
+        table = RoutingTable(owner)
+        peer = ref(make_id("ac"), 1)
+        table.add(peer)
+        assert table.entry(1, 0xC) is peer
+
+    def test_rejects_self(self):
+        owner = make_id("a0")
+        table = RoutingTable(owner)
+        assert not table.add(ref(owner, 5))
+
+    def test_proximity_preferred(self):
+        owner = make_id("a0")
+        table = RoutingTable(owner)
+        far = ref(make_id("b0"), 1, proximity=50.0)
+        near = ref(make_id("b1"), 2, proximity=1.0)
+        table.add(far)
+        assert table.add(near)
+        assert table.entry(0, 0xB) is near
+        # A farther candidate does not displace the near one.
+        assert not table.add(ref(make_id("b2"), 3, proximity=90.0))
+
+    def test_next_hop_matches_extra_digit(self):
+        owner = make_id("a0")
+        table = RoutingTable(owner)
+        peer = ref(make_id("b7"), 1)
+        table.add(peer)
+        assert table.next_hop(make_id("b799")) is peer
+
+    def test_next_hop_missing_entry(self):
+        table = RoutingTable(make_id("a0"))
+        assert table.next_hop(make_id("c0")) is None
+
+    def test_next_hop_for_own_id_is_none(self):
+        owner = make_id("a0")
+        table = RoutingTable(owner)
+        assert table.next_hop(owner) is None
+
+    def test_remove_by_address(self):
+        table = RoutingTable(make_id("a0"))
+        table.add(ref(make_id("b0"), 1))
+        assert table.remove(1)
+        assert table.entry(0, 0xB) is None
+        assert not table.remove(1)
+
+    def test_entries_iteration_and_len(self):
+        table = RoutingTable(make_id("a0"))
+        table.add(ref(make_id("b0"), 1))
+        table.add(ref(make_id("c0"), 2))
+        assert len(table) == 2
+        assert {r.address for r in table.entries()} == {1, 2}
+
+
+class TestLeafSet:
+    def test_size_must_be_even(self):
+        with pytest.raises(ValueError):
+            LeafSet(NodeId(0), size=3)
+
+    def test_add_and_members(self):
+        owner = NodeId(1000)
+        leaf_set = LeafSet(owner, size=4)
+        assert leaf_set.add(ref(NodeId(1001), 1))
+        assert leaf_set.add(ref(NodeId(999), 2))
+        assert len(leaf_set) == 2
+
+    def test_rejects_self_and_duplicates(self):
+        owner = NodeId(1000)
+        leaf_set = LeafSet(owner, size=4)
+        assert not leaf_set.add(ref(owner, 1))
+        leaf_set.add(ref(NodeId(1001), 2))
+        assert not leaf_set.add(ref(NodeId(1001), 2))
+
+    def test_keeps_closest_per_side(self):
+        owner = NodeId(0)
+        leaf_set = LeafSet(owner, size=4)  # two per side
+        for i, value in enumerate((10, 20, 30), start=1):
+            leaf_set.add(ref(NodeId(value), i))
+        members = {r.node_id.value for r in leaf_set.members()}
+        assert members == {10, 20}
+
+    def test_covers_when_not_full(self):
+        leaf_set = LeafSet(NodeId(0), size=8)
+        leaf_set.add(ref(NodeId(100), 1))
+        assert leaf_set.covers(NodeId(1 << 100))
+
+    def test_covers_arc_when_full(self):
+        owner = NodeId(1000)
+        leaf_set = LeafSet(owner, size=2)
+        leaf_set.add(ref(NodeId(1100), 1))
+        leaf_set.add(ref(NodeId(900), 2))
+        assert leaf_set.covers(NodeId(1050))
+        assert not leaf_set.covers(NodeId(5000))
+
+    def test_closest_member(self):
+        owner = NodeId(1000)
+        leaf_set = LeafSet(owner, size=4)
+        leaf_set.add(ref(NodeId(1100), 1))
+        leaf_set.add(ref(NodeId(900), 2))
+        assert leaf_set.closest(NodeId(1090)).node_id.value == 1100
+
+    def test_closest_empty_raises(self):
+        with pytest.raises(LookupError):
+            LeafSet(NodeId(0), size=2).closest(NodeId(1))
+
+    def test_closer_than_owner(self):
+        owner = NodeId(1000)
+        leaf_set = LeafSet(owner, size=4)
+        leaf_set.add(ref(NodeId(2000), 1))
+        # Key near owner: no member closer.
+        assert leaf_set.closer_than_owner(NodeId(1001)) is None
+        # Key near member: member wins.
+        assert leaf_set.closer_than_owner(NodeId(1999)).address == 1
+
+    def test_closer_than_owner_tie_breaks_to_lower_id(self):
+        owner = NodeId(1000)
+        leaf_set = LeafSet(owner, size=4)
+        leaf_set.add(ref(NodeId(998), 1))
+        # Key 999 is distance 1 from both owner and member: lower id wins,
+        # so every node agrees on the same root.
+        chosen = leaf_set.closer_than_owner(NodeId(999))
+        assert chosen is not None and chosen.node_id.value == 998
+
+    def test_remove(self):
+        leaf_set = LeafSet(NodeId(0), size=4)
+        leaf_set.add(ref(NodeId(5), 1))
+        assert leaf_set.remove(1)
+        assert not leaf_set.remove(1)
+        assert len(leaf_set) == 0
+
+    def test_contains_by_address(self):
+        leaf_set = LeafSet(NodeId(0), size=4)
+        leaf_set.add(ref(NodeId(5), 7))
+        assert 7 in leaf_set
+        assert 8 not in leaf_set

@@ -1,0 +1,118 @@
+"""Property-based tests for the Luette interpreter and table semantics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aa.interpreter import Interpreter
+from repro.aa.parser import parse
+from repro.aa.stdlib import make_sandbox_globals
+from repro.aa.values import LuetteTable, luette_to_python, python_to_luette
+
+numbers = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                    allow_infinity=False)
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+def run(source):
+    interp = Interpreter(make_sandbox_globals())
+    return interp.run_chunk(parse(source))
+
+
+@given(numbers, numbers)
+def test_addition_matches_python(a, b):
+    assert run(f"return {a!r} + {b!r}") == a + b
+
+
+@given(numbers, numbers)
+def test_comparison_matches_python(a, b):
+    assert run(f"return {a!r} < {b!r}") == (a < b)
+    assert run(f"return {a!r} <= {b!r}") == (a <= b)
+    assert run(f"return {a!r} == {b!r}") == (a == b)
+
+
+@given(small_ints, st.integers(min_value=1, max_value=1000))
+def test_floored_modulo_sign_follows_divisor(a, b):
+    result = run(f"return {a} % {b}")
+    assert result == a - (a // b) * b
+    assert 0 <= result < b
+
+
+@given(st.lists(numbers, min_size=1, max_size=20))
+def test_variadic_max_min(values):
+    args = ", ".join(repr(v) for v in values)
+    assert run(f"return math.max({args})") == max(values)
+    assert run(f"return math.min({args})") == min(values)
+
+
+@given(st.lists(small_ints, min_size=0, max_size=30))
+def test_table_insert_builds_sequence(values):
+    statements = "\n".join(f"table.insert(t, {v})" for v in values)
+    result = run(f"local t = {{}}\n{statements}\nreturn #t")
+    assert result == len(values)
+
+
+@given(st.lists(small_ints, min_size=1, max_size=25))
+def test_table_sort_matches_python(values):
+    items = ", ".join(str(v) for v in values)
+    result = run(f"local t = {{{items}}} table.sort(t) return table.concat(t, ',')")
+    expected = ",".join(str(v) for v in sorted(values))
+    assert result == expected
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                      exclude_characters="'\\\""),
+               max_size=40))
+def test_string_length_and_round_trip(text):
+    assert run(f"return #'{text}'") == len(text)
+    assert run(f"return '{text}'") == text
+
+
+@given(st.text(alphabet="abcdef", min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=20))
+def test_string_sub_matches_python_slice(text, i, j):
+    result = run(f"return string.sub('{text}', {i}, {j})")
+    assert result == text[i - 1:j]
+
+
+class TestTableProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), small_ints, max_size=20))
+    def test_python_bridge_round_trip_dicts(self, data):
+        table = python_to_luette(data)
+        assert isinstance(table, LuetteTable)
+        assert luette_to_python(table) == data
+
+    @given(st.lists(small_ints, min_size=1, max_size=20))
+    def test_python_bridge_round_trip_lists(self, data):
+        table = python_to_luette(data)
+        assert luette_to_python(table) == data
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=50), small_ints),
+                    max_size=40))
+    def test_set_get_consistency(self, pairs):
+        table = LuetteTable()
+        expected = {}
+        for key, value in pairs:
+            table.set(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert table.get(key) == value
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_length_is_contiguous_border(self, n):
+        table = LuetteTable()
+        for i in range(1, n + 1):
+            table.set(i, i)
+        assert table.length() == n
+        if n:
+            table.set(n // 2 + 1, None)  # punch a hole
+            assert table.length() == n // 2 if n > 1 else table.length() == 0
+
+    @given(st.floats(min_value=1, max_value=100))
+    def test_integer_float_key_unification(self, key):
+        table = LuetteTable()
+        if key.is_integer():
+            table.set(key, "v")
+            assert table.get(int(key)) == "v"

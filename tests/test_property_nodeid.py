@@ -1,0 +1,86 @@
+"""Property-based tests for NodeId ring arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastry.nodeid import BITS, DIGITS, NodeId
+
+ids = st.integers(min_value=0, max_value=(1 << BITS) - 1).map(NodeId)
+
+
+@given(ids, ids)
+def test_distance_symmetric(a, b):
+    assert a.distance(b) == b.distance(a)
+
+
+@given(ids)
+def test_distance_to_self_zero(a):
+    assert a.distance(a) == 0
+
+
+@given(ids, ids)
+def test_distance_bounded_by_half_ring(a, b):
+    assert 0 <= a.distance(b) <= (1 << BITS) // 2
+
+
+@given(ids, ids, ids)
+def test_distance_triangle_inequality(a, b, c):
+    assert a.distance(c) <= a.distance(b) + b.distance(c)
+
+
+@given(ids, ids)
+def test_clockwise_distances_sum_to_ring(a, b):
+    if a != b:
+        assert a.clockwise_distance(b) + b.clockwise_distance(a) == 1 << BITS
+
+
+@given(ids, ids)
+def test_shared_prefix_symmetric_and_bounded(a, b):
+    n = a.shared_prefix_len(b)
+    assert n == b.shared_prefix_len(a)
+    assert 0 <= n <= DIGITS
+
+
+@given(ids, ids)
+def test_shared_prefix_digits_actually_match(a, b):
+    n = a.shared_prefix_len(b)
+    for i in range(n):
+        assert a.digit(i) == b.digit(i)
+    if n < DIGITS:
+        assert a.digit(n) != b.digit(n)
+
+
+@given(ids)
+def test_digits_reconstruct_value(a):
+    value = 0
+    for i in range(DIGITS):
+        value = (value << 4) | a.digit(i)
+    assert value == a.value
+
+
+@given(ids)
+def test_hex_round_trip(a):
+    assert NodeId(int(a.hex(), 16)) == a
+
+
+@given(ids, ids)
+def test_is_between_endpoints_inclusive(a, b):
+    assert a.is_between(a, b)
+    assert b.is_between(a, b)
+
+
+@given(ids, ids, ids)
+def test_every_key_on_exactly_one_arc(low, high, key):
+    if low == high:
+        return
+    on_arc = key.is_between(low, high)
+    on_complement = key.is_between(high, low)
+    # Every point is on at least one arc; both only at the endpoints.
+    assert on_arc or on_complement
+    if on_arc and on_complement:
+        assert key in (low, high)
+
+
+@given(st.text(min_size=1, max_size=50))
+def test_from_key_deterministic(text):
+    assert NodeId.from_key(text) == NodeId.from_key(text)

@@ -1,0 +1,106 @@
+"""End-to-end property test: random queries vs. a brute-force oracle.
+
+A module-scoped federation is dressed with the evaluation workload; random
+composite queries are generated from a small grammar and executed through
+the full five-step protocol.  A brute-force oracle evaluates the same
+predicates over every node's raw attributes.  Invariants:
+
+* every returned node satisfies the oracle's predicate evaluation;
+* `satisfied` is truthful: k entries when satisfied, fewer otherwise;
+* a satisfied oracle implies a satisfied query whenever k is within the
+  oracle's match count (completeness over tree-indexed predicates).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.plane import RBay, RBayConfig
+from repro.query.predicates import Predicate
+from repro.workloads.ec2 import EC2_INSTANCE_TYPES
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+
+_PLANE_CACHE = {}
+
+
+def federation():
+    if "plane" not in _PLANE_CACHE:
+        plane = RBay(RBayConfig(seed=1337, nodes_per_site=18, jitter=False)).build()
+        workload = FederationWorkload(plane, WorkloadSpec(password="pw")).apply()
+        plane.sim.run()
+        _PLANE_CACHE["plane"] = (plane, workload)
+    return _PLANE_CACHE["plane"]
+
+
+# Query grammar: an instance type (tree-indexed) plus optional spec floors.
+itypes = st.sampled_from(EC2_INSTANCE_TYPES)
+ks = st.integers(min_value=1, max_value=4)
+vcpu_floors = st.one_of(st.none(), st.sampled_from([1, 2, 4, 8, 16]))
+mem_floors = st.one_of(st.none(), st.sampled_from([1.0, 4.0, 15.0, 60.0]))
+site_picks = st.one_of(
+    st.none(),
+    st.lists(st.sampled_from([name for name, _ in (
+        ("Virginia", 0), ("Oregon", 0), ("Tokyo", 0), ("SaoPaulo", 0))]),
+        min_size=1, max_size=3, unique=True),
+)
+
+
+def oracle_matches(plane, predicates, sites):
+    matches = []
+    for node in plane.nodes:
+        if sites is not None and node.site.name not in sites:
+            continue
+        if not node.reservation.is_free():
+            continue
+        ok = all(
+            node.has_attribute(p.attribute)
+            and p.matches(node.attribute_value(p.attribute))
+            for p in predicates
+        )
+        if ok:
+            matches.append(node)
+    return matches
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(itype=itypes, k=ks, vcpu=vcpu_floors, mem=mem_floors, sites=site_picks)
+def test_query_results_match_oracle(itype, k, vcpu, mem, sites):
+    plane, workload = federation()
+    predicates = [Predicate("instance_type", "=", itype)]
+    clauses = [f"instance_type = '{itype}'"]
+    if vcpu is not None:
+        predicates.append(Predicate("vcpu", ">=", float(vcpu)))
+        clauses.append(f"vcpu >= {vcpu}")
+    if mem is not None:
+        predicates.append(Predicate("mem_gb", ">=", float(mem)))
+        clauses.append(f"mem_gb >= {mem}")
+    source = "*" if sites is None else ", ".join(sites)
+    sql = f"SELECT {k} FROM {source} WHERE " + " AND ".join(clauses) + ";"
+
+    expected = oracle_matches(plane, predicates, sites)
+    customer = plane.make_customer("oracle-user", "Virginia")
+    result = customer.query_once(sql, payload={"password": "pw"}).result()
+
+    # Soundness: every returned node satisfies the predicates per oracle.
+    expected_addresses = {n.address for n in expected}
+    for entry in result.entries:
+        assert entry["address"] in expected_addresses, (sql, entry)
+
+    # Truthfulness of `satisfied`.
+    if result.satisfied:
+        assert len(result.entries) >= k
+    else:
+        assert len(result.entries) < k
+
+    # Completeness: if the oracle has >= k matches, the query finds them
+    # (membership tracks attributes exactly in this static workload).
+    if len(expected) >= k:
+        assert result.satisfied, (sql, len(expected))
+
+    # Clean up reservations so examples stay independent.
+    customer.release_all(result)
+    plane.sim.run()
+    for node in expected:
+        node.reservation.release(result.query_id)

@@ -1,0 +1,119 @@
+"""Tests for OR / parenthesized WHERE clauses (DNF execution)."""
+
+import pytest
+
+from repro.core.plane import RBay, RBayConfig
+from repro.query.sql import SQLSyntaxError, parse_query
+
+
+class TestParsing:
+    def test_simple_or(self):
+        query = parse_query("SELECT 1 FROM * WHERE a = 1 OR b = 2")
+        assert len(query.where) == 2
+        assert query.is_disjunctive()
+
+    def test_and_binds_tighter_than_or(self):
+        query = parse_query("SELECT 1 FROM * WHERE a = 1 AND b = 2 OR c = 3")
+        assert len(query.where) == 2
+        assert [p.attribute for p in query.where[0]] == ["a", "b"]
+        assert [p.attribute for p in query.where[1]] == ["c"]
+
+    def test_parentheses_group_or(self):
+        query = parse_query("SELECT 1 FROM * WHERE (a = 1 OR b = 2) AND c = 3")
+        assert len(query.where) == 2
+        for conjunction in query.where:
+            assert conjunction[-1].attribute == "c"
+
+    def test_nested_parentheses(self):
+        query = parse_query(
+            "SELECT 1 FROM * WHERE ((a = 1 OR b = 2) AND (c = 3 OR d = 4))")
+        assert len(query.where) == 4
+
+    def test_plain_and_stays_single_conjunct(self):
+        query = parse_query("SELECT 1 FROM * WHERE a = 1 AND b = 2")
+        assert not query.is_disjunctive()
+        assert len(query.predicates) == 2
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT 1 FROM * WHERE (a = 1 OR b = 2")
+
+    def test_dnf_explosion_guarded(self):
+        clause = " AND ".join(f"(a{i} = 1 OR b{i} = 2)" for i in range(10))
+        with pytest.raises(SQLSyntaxError):
+            parse_query(f"SELECT 1 FROM * WHERE {clause}")
+
+    def test_str_round_trip(self):
+        query = parse_query("SELECT 2 FROM * WHERE (a = 1 OR b = 2) AND c < 3")
+        reparsed = parse_query(str(query))
+        assert len(reparsed.where) == len(query.where)
+        assert [[p.pack() for p in conj] for conj in reparsed.where] == \
+               [[p.pack() for p in conj] for conj in query.where]
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def plane(self):
+        plane = RBay(RBayConfig(seed=888, nodes_per_site=10, jitter=False)).build()
+        plane.sim.run()
+        admin = plane.admin("Virginia")
+        nodes = plane.site_nodes("Virginia")
+        for node in nodes[:3]:
+            admin.post_resource(node, "GPU", True)
+        for node in nodes[3:6]:
+            admin.post_resource(node, "FPGA", True)
+        # One node has both.
+        admin.post_resource(nodes[0], "FPGA", True)
+        plane.sim.run()
+        return plane
+
+    def run(self, plane, sql, name="joe"):
+        customer = plane.make_customer(name, "Virginia")
+        result = customer.query_once(sql).result()
+        customer.release_all(result)
+        plane.sim.run()
+        return result
+
+    def test_or_unions_both_trees(self, plane):
+        result = self.run(plane,
+                          "SELECT 10 FROM Virginia WHERE GPU = true OR FPGA = true;")
+        # GPU on {0,1,2}, FPGA on {0,3,4,5} -> 6 distinct nodes, node 0
+        # deduplicated across branches.
+        assert len(result.entries) == 6
+        addresses = [e["address"] for e in result.entries]
+        assert len(addresses) == len(set(addresses))
+
+    def test_or_with_k_satisfied_from_either_branch(self, plane):
+        result = self.run(plane,
+                          "SELECT 4 FROM Virginia WHERE GPU = true OR FPGA = true;")
+        assert result.satisfied and len(result.entries) == 4
+
+    def test_single_branch_behaviour_unchanged(self, plane):
+        result = self.run(plane, "SELECT 3 FROM Virginia WHERE GPU = true;")
+        assert result.satisfied and len(result.entries) == 3
+
+    def test_or_across_sites(self, plane):
+        admin = plane.admin("Tokyo")
+        node = plane.site_nodes("Tokyo")[0]
+        admin.post_resource(node, "GPU", True)
+        plane.sim.run()
+        result = self.run(plane,
+                          "SELECT 10 FROM * WHERE GPU = true OR FPGA = true;",
+                          name="multi")
+        sites = {e["site"] for e in result.entries}
+        assert {"Virginia", "Tokyo"} <= sites
+
+    def test_conjunction_inside_disjunct_filters(self, plane):
+        plane_nodes = plane.site_nodes("Virginia")
+        for node in plane_nodes[:3]:
+            node.define_attribute("mem", 64.0)
+        result = self.run(
+            plane,
+            "SELECT 10 FROM Virginia WHERE (GPU = true AND mem >= 32) OR FPGA = true;",
+            name="conj",
+        )
+        for entry in result.entries:
+            node = plane.network.host(entry["address"])
+            assert (node.has_attribute("FPGA")
+                    or (node.has_attribute("GPU")
+                        and node.attribute_value("mem") >= 32))

@@ -1,0 +1,138 @@
+"""Unit tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.query.sql import Query, SQLSyntaxError, parse_query
+
+
+def test_paper_figure6_query():
+    query = parse_query(
+        'SELECT 5 FROM * WHERE CPU_model = "Intel Core i7" '
+        "AND CPU_utilization < 10% GROUPBY CPU_utilization DESC;"
+    )
+    assert query.k == 5
+    assert query.sites is None
+    assert len(query.predicates) == 2
+    first, second = query.predicates
+    assert (first.attribute, first.op, first.value) == ("CPU_model", "=", "Intel Core i7")
+    assert (second.attribute, second.op, second.value) == ("CPU_utilization", "<", 10.0)
+    assert query.order_by == "CPU_utilization"
+    assert query.descending
+
+
+def test_select_star_means_unbounded():
+    assert parse_query("SELECT * FROM * WHERE a = 1").k is None
+
+
+def test_select_nodeid_alias():
+    assert parse_query("SELECT NodeId FROM * WHERE a = 1").k is None
+
+
+def test_select_zero_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT 0 FROM *")
+
+
+def test_site_list():
+    query = parse_query("SELECT 1 FROM 'Virginia', Tokyo WHERE x = 1")
+    assert query.sites == ["Virginia", "Tokyo"]
+
+
+def test_where_is_optional():
+    query = parse_query("SELECT 1 FROM Virginia")
+    assert query.predicates == []
+
+
+def test_operators():
+    query = parse_query(
+        "SELECT 1 FROM * WHERE a = 1 AND b < 2 AND c <= 3 AND d > 4 "
+        "AND e >= 5 AND f <> 6 AND g != 7 AND h == 8"
+    )
+    ops = [p.op for p in query.predicates]
+    assert ops == ["=", "<", "<=", ">", ">=", "<>", "<>", "="]
+
+
+def test_value_types():
+    query = parse_query(
+        "SELECT 1 FROM * WHERE s = 'text' AND n = 2.5 AND p < 15% "
+        "AND t = true AND f = false AND w = bareword"
+    )
+    values = [p.value for p in query.predicates]
+    assert values == ["text", 2.5, 15.0, True, False, "bareword"]
+
+
+def test_string_escapes():
+    query = parse_query(r"SELECT 1 FROM * WHERE s = 'it\'s'")
+    assert query.predicates[0].value == "it's"
+
+
+def test_keywords_case_insensitive():
+    query = parse_query("select 2 from * where A = 1 groupby A desc")
+    assert query.k == 2 and query.descending
+
+
+def test_order_by_alternative_syntax():
+    query = parse_query("SELECT 1 FROM * WHERE a = 1 ORDER BY a ASC")
+    assert query.order_by == "a" and not query.descending
+
+
+def test_groupby_default_ascending():
+    query = parse_query("SELECT 1 FROM * WHERE a = 1 GROUPBY a")
+    assert not query.descending
+
+
+def test_limit_clause():
+    query = parse_query("SELECT * FROM * WHERE a = 1 LIMIT 7")
+    assert query.k == 7
+
+
+def test_attribute_names_allow_dots_and_dashes():
+    query = parse_query("SELECT 1 FROM * WHERE instance_type = 'c3.8xlarge'")
+    assert query.predicates[0].value == "c3.8xlarge"
+
+
+def test_trailing_semicolon_optional():
+    parse_query("SELECT 1 FROM *")
+    parse_query("SELECT 1 FROM *;")
+
+
+def test_missing_select_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("FROM * WHERE a = 1")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT 1 WHERE a = 1")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT 1 FROM * WHERE a = 1 banana banana")
+
+
+def test_bad_predicate_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT 1 FROM * WHERE = 1")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT 1 FROM * WHERE a = $")
+
+
+def test_str_round_trip_parses():
+    original = parse_query(
+        "SELECT 3 FROM Virginia, Tokyo WHERE a = 'x' AND b < 5 GROUPBY b DESC"
+    )
+    reparsed = parse_query(str(original))
+    assert reparsed.k == original.k
+    assert reparsed.sites == original.sites
+    assert [p.pack() for p in reparsed.predicates] == [p.pack() for p in original.predicates]
+    assert reparsed.order_by == original.order_by
+    assert reparsed.descending == original.descending
+
+
+def test_query_helpers():
+    query = parse_query("SELECT 1 FROM * WHERE a = 1 AND b < 2")
+    assert len(query.equality_predicates()) == 1

@@ -1,0 +1,153 @@
+"""Unit tests for aggregation functions and in-tree aggregation."""
+
+import pytest
+
+from repro.scribe.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    AllFunction,
+    AnyFunction,
+    AvgFunction,
+    CountFunction,
+    FilterCountFunction,
+    MaxFunction,
+    MinFunction,
+    SumFunction,
+)
+
+
+class TestFunctions:
+    def test_registry_contains_core_functions(self):
+        for name in ("count", "sum", "min", "max", "avg", "any", "all"):
+            assert name in AGGREGATE_FUNCTIONS
+
+    def test_count(self):
+        fn = CountFunction()
+        assert fn.lift("anything") == 1
+        assert fn.combine(fn.zero(), fn.lift(None)) == 1
+        assert fn.combine(3, 4) == 7
+
+    def test_sum(self):
+        fn = SumFunction()
+        acc = fn.zero()
+        for value in (1, 2.5, 3):
+            acc = fn.combine(acc, fn.lift(value))
+        assert acc == 6.5
+
+    def test_min_with_empty_subtrees(self):
+        fn = MinFunction()
+        assert fn.combine(None, None) is None
+        assert fn.combine(None, 5.0) == 5.0
+        assert fn.combine(3.0, 5.0) == 3.0
+
+    def test_max(self):
+        fn = MaxFunction()
+        assert fn.combine(fn.lift(2), fn.lift(9)) == 9.0
+        assert fn.finalize(None) is None
+
+    def test_avg_hierarchical_property(self):
+        """avg over a combined set equals avg of the union of leaves."""
+        fn = AvgFunction()
+        left = fn.combine(fn.lift(10), fn.lift(20))
+        right = fn.lift(60)
+        assert fn.finalize(fn.combine(left, right)) == pytest.approx(30.0)
+
+    def test_avg_empty_is_none(self):
+        fn = AvgFunction()
+        assert fn.finalize(fn.zero()) is None
+
+    def test_any_all(self):
+        any_fn, all_fn = AnyFunction(), AllFunction()
+        assert any_fn.combine(False, True) is True
+        assert any_fn.zero() is False
+        assert all_fn.combine(True, False) is False
+        assert all_fn.zero() is True
+
+    def test_filter_count(self):
+        fn = FilterCountFunction(lambda v: v < 10, name="below10")
+        acc = fn.zero()
+        for value in (5, 15, 3):
+            acc = fn.combine(acc, fn.lift(value))
+        assert acc == 2
+        assert fn.name == "below10"
+
+    def test_combine_associative_commutative(self):
+        fn = SumFunction()
+        a, b, c = fn.lift(1), fn.lift(2), fn.lift(3)
+        assert fn.combine(fn.combine(a, b), c) == fn.combine(a, fn.combine(b, c))
+        assert fn.combine(a, b) == fn.combine(b, a)
+
+
+class TestInTreeAggregation:
+    @pytest.fixture
+    def tree(self, sim, streams, scribe_overlay):
+        rng = streams.stream("agg")
+        members = rng.sample(scribe_overlay.nodes, 25)
+        for i, node in enumerate(members):
+            node.app("scribe").join(node, "util")
+            node.app("scribe").set_local(node, "util", "sum", float(i))
+            node.app("scribe").set_local(node, "util", "min", float(i))
+            node.app("scribe").set_local(node, "util", "max", float(i))
+            node.app("scribe").set_local(node, "util", "avg", float(i))
+        sim.run()
+        return scribe_overlay, members
+
+    def query(self, overlay, names):
+        asker = overlay.nodes[0]
+        return asker.app("scribe").query_aggregate(asker, "util", names).result()
+
+    def test_sum_at_root(self, tree):
+        overlay, members = tree
+        values = self.query(overlay, ["sum"])
+        assert values["sum"] == sum(range(25))
+
+    def test_min_max_at_root(self, tree):
+        overlay, members = tree
+        values = self.query(overlay, ["min", "max"])
+        assert values["min"] == 0.0
+        assert values["max"] == 24.0
+
+    def test_avg_at_root(self, tree):
+        overlay, members = tree
+        values = self.query(overlay, ["avg"])
+        assert values["avg"] == pytest.approx(12.0)
+
+    def test_update_propagates(self, sim, tree):
+        overlay, members = tree
+        node = members[0]
+        node.app("scribe").set_local(node, "util", "max", 999.0)
+        sim.run()
+        assert self.query(overlay, ["max"])["max"] == 999.0
+
+    def test_clear_local_removes_contribution(self, sim, tree):
+        overlay, members = tree
+        top = members[24]
+        top.app("scribe").clear_local(top, "util", "max")
+        sim.run()
+        assert self.query(overlay, ["max"])["max"] == 23.0
+
+    def test_leave_removes_contribution(self, sim, tree):
+        overlay, members = tree
+        top = members[24]
+        top.app("scribe").leave(top, "util")
+        sim.run()
+        assert self.query(overlay, ["sum"])["sum"] == sum(range(24))
+
+    def test_unknown_aggregate_returns_none(self, tree):
+        overlay, _ = tree
+        assert self.query(overlay, ["nonsense"])["nonsense"] is None
+
+    def test_unknown_local_aggregate_raises(self, scribe_overlay):
+        node = scribe_overlay.nodes[0]
+        with pytest.raises(KeyError):
+            node.app("scribe").set_local(node, "t", "bogus", 1)
+
+    def test_aggregation_survives_member_failure(self, sim, tree):
+        overlay, members = tree
+        members[24].fail()
+        sim.run()
+        for _ in range(3):
+            for node in overlay.live_nodes():
+                node.app("scribe").maintain(node)
+            sim.run()
+        values = self.query(overlay, ["max"])
+        assert values["max"] == 23.0

@@ -1,0 +1,82 @@
+"""Tests for on-demand (pull) aggregation."""
+
+import pytest
+
+
+@pytest.fixture
+def tree(sim, streams, scribe_overlay):
+    rng = streams.stream("pull")
+    members = rng.sample(scribe_overlay.nodes, 24)
+    for i, member in enumerate(members):
+        member.app("scribe").join(member, "P")
+        member.app("scribe").set_local(member, "P", "sum", float(i))
+        member.app("scribe").set_local(member, "P", "max", float(i))
+    sim.run()
+    return scribe_overlay, members
+
+
+def pull(overlay, names, topic="P"):
+    asker = overlay.nodes[0]
+    return asker.app("scribe").query_aggregate_fresh(asker, topic, names).result()
+
+
+def test_pull_matches_push(sim, tree):
+    overlay, members = tree
+    asker = overlay.nodes[0]
+    pushed = asker.app("scribe").query_aggregate(asker, "P", ["sum", "max", "count"]).result()
+    pulled = pull(overlay, ["sum", "max", "count"])
+    assert pulled == pushed
+
+
+def test_pull_sees_unflushed_changes_immediately(sim, tree):
+    overlay, members = tree
+    # Mutate a member's local value *without* triggering the push pipeline.
+    state = members[3].app("scribe").topics()["P"]
+    state.local["max"] = 9_999.0
+    assert pull(overlay, ["max"])["max"] == 9_999.0
+    # The pushed view lags until the next flush/maintenance.
+    asker = overlay.nodes[0]
+    stale = asker.app("scribe").query_aggregate(asker, "P", ["max"]).result()
+    assert stale["max"] == 23.0
+
+
+def test_pull_on_empty_topic(sim, scribe_overlay):
+    values = pull(scribe_overlay, ["sum", "count"], topic="never-built")
+    assert values["count"] == 0
+    assert values["sum"] == 0.0
+
+
+def test_pull_unknown_aggregate_is_none(sim, tree):
+    overlay, _ = tree
+    assert pull(overlay, ["made-up"])["made-up"] is None
+
+
+def test_pull_skips_dead_children(sim, tree):
+    overlay, members = tree
+    victim = members[5]
+    victim.fail()
+    values = pull(overlay, ["count"])
+    # The victim's subtree members that routed through it are unreachable
+    # for this pull, but the walk terminates and excludes the dead node.
+    assert values["count"] <= 23
+    assert values["count"] >= 1
+
+
+def test_pull_avg_consistency(sim, tree):
+    overlay, members = tree
+    for i, member in enumerate(members):
+        member.app("scribe").set_local(member, "P", "avg", float(i))
+    sim.run()
+    values = pull(overlay, ["avg"])
+    assert values["avg"] == pytest.approx(sum(range(24)) / 24)
+
+
+def test_concurrent_pulls_do_not_interfere(sim, tree):
+    overlay, members = tree
+    asker_a = overlay.nodes[0]
+    asker_b = overlay.nodes[1]
+    fa = asker_a.app("scribe").query_aggregate_fresh(asker_a, "P", ["sum"])
+    fb = asker_b.app("scribe").query_aggregate_fresh(asker_b, "P", ["count"])
+    sim.run()
+    assert fa.value["sum"] == float(sum(range(24)))
+    assert fb.value["count"] == 24

@@ -1,0 +1,138 @@
+"""Property-style tests: random operation sequences against tree invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.latency import UniformLatencyModel
+from repro.net.network import Network
+from repro.net.site import SiteRegistry
+from repro.pastry.overlay import Overlay
+from repro.scribe.scribe import ScribeApplication
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+
+N_NODES = 24
+
+# op = (node index, join?)  — applied in order, then invariants checked.
+op_sequences = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=N_NODES - 1), st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_overlay():
+    sim = Simulator()
+    streams = RandomStreams(2024)
+    registry = SiteRegistry()
+    site = registry.add("S", "X")
+    network = Network(sim, UniformLatencyModel(0.3))
+    overlay = Overlay(sim, network, streams, registry)
+    for _ in range(N_NODES):
+        overlay.create_node(site)
+    overlay.bootstrap()
+    for node in overlay.nodes:
+        node.register_app(ScribeApplication(sim))
+    return sim, overlay
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(op_sequences)
+def test_tree_size_matches_membership_after_any_op_sequence(ops):
+    sim, overlay = build_overlay()
+    expected = set()
+    for index, join in ops:
+        node = overlay.nodes[index]
+        if join:
+            node.app("scribe").join(node, "T")
+            expected.add(index)
+        else:
+            node.app("scribe").leave(node, "T")
+            expected.discard(index)
+    sim.run()
+    asker = overlay.nodes[0]
+    size = asker.app("scribe").tree_size(asker, "T").result()
+    assert size == len(expected)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(op_sequences)
+def test_multicast_reaches_exactly_current_members(ops):
+    sim, overlay = build_overlay()
+    expected = set()
+    for index, join in ops:
+        node = overlay.nodes[index]
+        if join:
+            node.app("scribe").join(node, "T")
+            expected.add(index)
+        else:
+            node.app("scribe").leave(node, "T")
+            expected.discard(index)
+    sim.run()
+    got = set()
+    for i, node in enumerate(overlay.nodes):
+        node.app("scribe").multicast_handler = (
+            lambda n, t, b, i=i: got.add(i)
+        )
+    overlay.nodes[0].app("scribe").multicast(overlay.nodes[0], "T", {})
+    sim.run()
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(op_sequences)
+def test_tree_structure_is_acyclic_and_rooted(ops):
+    """Parent pointers never form a cycle; all in-tree nodes reach the root."""
+    sim, overlay = build_overlay()
+    for index, join in ops:
+        node = overlay.nodes[index]
+        if join:
+            node.app("scribe").join(node, "T")
+        else:
+            node.app("scribe").leave(node, "T")
+    sim.run()
+    by_address = {node.address: node for node in overlay.nodes}
+    for node in overlay.nodes:
+        state = node.app("scribe").topics().get("T")
+        if state is None or not state.in_tree():
+            continue
+        seen = set()
+        current = node
+        while True:
+            assert current.address not in seen, "cycle in tree parents"
+            seen.add(current.address)
+            current_state = current.app("scribe").topics().get("T")
+            if current_state is None or current_state.parent is None:
+                break
+            current = by_address[current_state.parent]
+        # The walk ended at a node with no parent: the root (or a detached
+        # node that never got members, which must then have no children).
+        final_state = current.app("scribe").topics().get("T")
+        assert final_state.is_root or not final_state.children
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(op_sequences, st.lists(st.floats(min_value=0, max_value=100),
+                              min_size=N_NODES, max_size=N_NODES))
+def test_aggregate_sum_matches_membership(ops, values):
+    sim, overlay = build_overlay()
+    expected = set()
+    for index, join in ops:
+        node = overlay.nodes[index]
+        if join:
+            node.app("scribe").join(node, "T")
+            node.app("scribe").set_local(node, "T", "sum", values[index])
+            expected.add(index)
+        else:
+            node.app("scribe").leave(node, "T")
+            expected.discard(index)
+    sim.run()
+    asker = overlay.nodes[0]
+    result = asker.app("scribe").query_aggregate(asker, "T", ["sum"]).result()
+    expected_sum = sum(values[i] for i in expected)
+    assert result["sum"] == pytest.approx(expected_sum)

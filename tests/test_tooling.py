@@ -1,0 +1,227 @@
+"""Tests for tracing, ASCII plotting, query plans, and the CLI."""
+
+import pytest
+
+from repro.core.plane import RBay, RBayConfig
+from repro.metrics.ascii_plot import ascii_bars, ascii_cdf
+from repro.query.plan import plan_query
+from repro.query.sql import parse_query
+from repro.sim.trace import NULL_TRACER, Tracer, hook_network
+
+
+class TestTracer:
+    def test_emit_and_query(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("route", "hop", src=1, dst=2)
+        sim.schedule(10.0, tracer.emit, "route", "hop2")
+        sim.run()
+        assert tracer.count() == 2
+        assert tracer.count("route") == 2
+        assert tracer.events("route")[1].time == 10.0
+
+    def test_category_filter(self, sim):
+        tracer = Tracer(sim, categories=["keep"])
+        tracer.emit("keep", "a")
+        tracer.emit("drop", "b")
+        assert tracer.count() == 1
+
+    def test_bounded_memory(self, sim):
+        tracer = Tracer(sim, max_events=3)
+        for i in range(10):
+            tracer.emit("x", str(i))
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+
+    def test_between(self, sim):
+        tracer = Tracer(sim)
+        for t in (1.0, 5.0, 9.0):
+            sim.schedule(t, tracer.emit, "x", "e")
+        sim.run()
+        assert len(tracer.between(2.0, 8.0)) == 1
+
+    def test_disable(self, sim):
+        tracer = Tracer(sim)
+        tracer.enabled = False
+        tracer.emit("x", "e")
+        assert len(tracer) == 0
+
+    def test_clear_and_categories(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("b", "x")
+        tracer.emit("a", "y")
+        assert tracer.categories() == ["a", "b"]
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_format_output(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("route", "hop", src=1)
+        text = tracer.format()
+        assert "route" in text and "src=1" in text
+
+    def test_null_tracer_is_silent(self):
+        NULL_TRACER.emit("anything", "goes", x=1)  # no crash, no state
+
+    def test_network_hook(self, sim, network, registry):
+        from repro.net.message import Message
+        from repro.net.network import Host
+
+        class Echo(Host):
+            def on_message(self, msg):
+                pass
+
+        a, b = Echo(registry[0]), Echo(registry[1])
+        network.attach(a), network.attach(b)
+        tracer = Tracer(sim)
+        hook_network(tracer, network)
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        assert tracer.count("net.deliver") == 1
+
+
+class TestAsciiPlots:
+    def test_cdf_renders_markers_and_legend(self):
+        text = ascii_cdf({"local": [1, 2, 3], "remote": [10, 20, 30]})
+        assert "*=local" in text and "o=remote" in text
+        assert "|" in text
+
+    def test_cdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+        with pytest.raises(ValueError):
+            ascii_cdf({"x": []})
+
+    def test_cdf_single_value_series(self):
+        text = ascii_cdf({"x": [5.0]})
+        assert "5" in text
+
+    def test_bars_scale_to_peak(self):
+        text = ascii_bars([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bars_reject_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bars([])
+
+
+class TestQueryPlan:
+    @pytest.fixture(scope="class")
+    def plane(self):
+        plane = RBay(RBayConfig(seed=91, nodes_per_site=5, jitter=False)).build()
+        plane.sim.run()
+        return plane
+
+    def test_plan_targets_requested_sites(self, plane):
+        query = parse_query("SELECT 1 FROM Virginia, Tokyo WHERE GPU = true")
+        plan = plan_query(query, plane.context)
+        assert plan.target_sites == ["Virginia", "Tokyo"]
+
+    def test_plan_star_targets_all_sites(self, plane):
+        query = parse_query("SELECT 1 FROM * WHERE GPU = true")
+        plan = plan_query(query, plane.context)
+        assert len(plan.target_sites) == 8
+
+    def test_probe_topics_are_site_scoped(self, plane):
+        query = parse_query("SELECT 1 FROM Tokyo WHERE GPU = true")
+        plan = plan_query(query, plane.context)
+        assert plan.probes_per_site["Tokyo"] == ["Tokyo/GPU"]
+
+    def test_hierarchy_expansion_marked(self, plane):
+        plane.hierarchy.link("CPU/Intel", "CPU")
+        query = parse_query("SELECT 1 FROM Tokyo WHERE CPU = true")
+        plan = plan_query(query, plane.context)
+        assert plan.predicate_plans[0].expanded
+        assert set(plan.probes_per_site["Tokyo"]) == {"Tokyo/CPU", "Tokyo/CPU/Intel"}
+        plane.hierarchy.unlink("CPU/Intel")
+
+    def test_explain_mentions_all_steps(self, plane):
+        query = parse_query(
+            "SELECT 5 FROM * WHERE GPU = true AND vcpu >= 4 GROUPBY vcpu DESC")
+        text = plan_query(query, plane.context).explain()
+        assert "fan-out: 8" in text
+        assert "step 1-2" in text and "step 3" in text
+        assert "step 4" in text and "step 5" in text
+        assert "commit best 5 by vcpu DESC" in text
+
+    def test_total_probes(self, plane):
+        query = parse_query("SELECT 1 FROM Virginia, Tokyo WHERE a = 1 AND b = 2")
+        plan = plan_query(query, plane.context)
+        assert plan.total_probes == 4  # 2 predicates x 2 sites
+
+
+class TestCLI:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_describe(self, capsys):
+        code, out = self.run_cli(
+            ["describe", "--nodes", "4", "--no-jitter"], capsys)
+        assert code == 0
+        assert "8 sites" in out and "Virginia" in out
+
+    def test_query_satisfied(self, capsys):
+        # The utilization-threshold tree exists federation-wide, so some
+        # node is always below 10% with 48 nodes and the fixed seed.
+        code, out = self.run_cli(
+            ["query", "SELECT 1 FROM * WHERE CPU_utilization < 10%;",
+             "--nodes", "6", "--no-jitter"], capsys)
+        assert code == 0
+        assert "satisfied: True" in out
+
+    def test_query_unsatisfied_exit_code(self, capsys):
+        code, out = self.run_cli(
+            ["query", "SELECT 1 FROM * WHERE no_such = 'thing';",
+             "--nodes", "4", "--no-jitter"], capsys)
+        assert code == 1
+
+    def test_explain(self, capsys):
+        code, out = self.run_cli(
+            ["explain", "SELECT 2 FROM Tokyo WHERE GPU = true;",
+             "--nodes", "4", "--no-jitter"], capsys)
+        assert code == 0
+        assert "QUERY" in out and "fan-out: 1" in out
+
+    def test_latency_sweep(self, capsys):
+        code, out = self.run_cli(
+            ["latency", "--origins", "Virginia", "--queries", "2",
+             "--nodes", "6", "--no-jitter"], capsys)
+        assert code == 0
+        assert "8-site" in out
+
+    def test_latency_unknown_origin(self, capsys):
+        code, _ = self.run_cli(
+            ["latency", "--origins", "Atlantis", "--queries", "1",
+             "--nodes", "4", "--no-jitter"], capsys)
+        assert code == 2
+
+
+class TestCLILua:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_lua_chunk_runs(self, capsys):
+        code, out, _ = self.run_cli(
+            ["lua", "return 6 * 7"], capsys)
+        assert code == 0 and "42" in out
+
+    def test_lua_budget_enforced(self, capsys):
+        code, _, err = self.run_cli(
+            ["lua", "while true do end", "--budget", "500"], capsys)
+        assert code == 1 and "budget" in err
+
+    def test_lua_sandbox_violation_reported(self, capsys):
+        code, _, err = self.run_cli(["lua", "return os.time()"], capsys)
+        assert code == 1 and "excluded" in err
+
+    def test_lua_syntax_error_reported(self, capsys):
+        code, _, err = self.run_cli(["lua", "if if if"], capsys)
+        assert code == 1
