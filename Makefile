@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples outputs clean
+.PHONY: install test bench coverage examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Line-coverage floor for the caching subsystem.  When pytest-cov is
+# installed, also print a full term-missing report; the gate itself uses
+# a stdlib tracer (tools/check_coverage.py) so it runs anywhere and
+# fails if cache.py or counters.py drop below 85%.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
+	  && $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+	  || echo "pytest-cov not installed; running the stdlib coverage gate only"
+	$(PYTHON) tools/check_coverage.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

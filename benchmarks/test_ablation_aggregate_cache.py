@@ -1,0 +1,115 @@
+"""Ablation: the aggregate/probe caches on vs. off, on a 64-node federation.
+
+The step-1 probe round costs one request/response per candidate tree on
+every query; the subtree-accumulator memo additionally recomputes nothing
+that did not change.  This ablation runs the same repeated single-site
+query against two otherwise-identical planes:
+
+* **uncached** — ``aggregate_cache=False, probe_cache_ms=0`` (the paper's
+  baseline: every query probes, every push re-rolls accumulators);
+* **cached**  — ``aggregate_cache=True, probe_cache_ms=60s``.
+
+Warm repeats on the cached arm must send strictly fewer messages and
+finish with strictly lower mean latency.  The measured series is written
+to ``benchmarks/results/ablation_aggregate_cache.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import build_dressed_plane, print_banner
+from repro.metrics.stats import format_table, mean
+
+NODES_PER_SITE = 8          # x 8 EC2 sites = 64-node overlay
+WARM_REPEATS = 8
+SWEEP = [1, 2, 4, 8]
+RESULTS_PATH = Path(__file__).parent / "results" / "ablation_aggregate_cache.json"
+
+
+def run_arm(aggregate_cache: bool, probe_cache_ms: float):
+    """One plane, one cold query, then WARM_REPEATS identical warm queries."""
+    plane, workload = build_dressed_plane(
+        seed=2017, nodes_per_site=NODES_PER_SITE, jitter=False,
+        aggregate_cache=aggregate_cache, probe_cache_ms=probe_cache_ms)
+    assert len(plane.nodes) >= 64
+    counts = workload.site_instance_population("Virginia")
+    itype = max(counts, key=counts.get)
+    customer = plane.make_customer("bench", "Virginia")
+    sql = f"SELECT 1 FROM Virginia WHERE instance_type = '{itype}';"
+
+    def one_query():
+        plane.network.reset_counters()
+        result = customer.query_once(sql, payload={"password": "rbay"}).result()
+        assert result.satisfied
+        messages = plane.network.messages_sent
+        customer.release_all(result)
+        plane.sim.run()
+        return messages, result.latency_ms
+
+    cold_messages, cold_latency = one_query()
+    warm = [one_query() for _ in range(WARM_REPEATS)]
+    return {
+        "aggregate_cache": aggregate_cache,
+        "probe_cache_ms": probe_cache_ms,
+        "nodes": len(plane.nodes),
+        "cold": {"messages": cold_messages, "latency_ms": cold_latency},
+        "warm_messages": [m for m, _ in warm],
+        "warm_latency_ms": [l for _, l in warm],
+        "counters": plane.counters.snapshot(),
+    }
+
+
+def run_experiment():
+    return {
+        "uncached": run_arm(aggregate_cache=False, probe_cache_ms=0.0),
+        "cached": run_arm(aggregate_cache=True, probe_cache_ms=60_000.0),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-aggregate-cache")
+def test_ablation_aggregate_cache(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    uncached, cached = results["uncached"], results["cached"]
+
+    sweep = [
+        {
+            "repeats": r,
+            "uncached_messages": sum(uncached["warm_messages"][:r]),
+            "cached_messages": sum(cached["warm_messages"][:r]),
+            "uncached_mean_latency_ms": mean(uncached["warm_latency_ms"][:r]),
+            "cached_mean_latency_ms": mean(cached["warm_latency_ms"][:r]),
+        }
+        for r in SWEEP
+    ]
+
+    print_banner(f"Ablation: aggregate/probe caches on a "
+                 f"{cached['nodes']}-node federation "
+                 f"({WARM_REPEATS} warm repeats of one query)")
+    print(format_table(
+        ["repeats", "uncached msgs", "cached msgs",
+         "uncached ms", "cached ms"],
+        [[row["repeats"], row["uncached_messages"], row["cached_messages"],
+          f"{row['uncached_mean_latency_ms']:.1f}",
+          f"{row['cached_mean_latency_ms']:.1f}"] for row in sweep],
+    ))
+    hits = cached["counters"].get("query.probe_cache.hit", 0)
+    print(f"probe-cache hits on the cached arm: {hits}")
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(
+        {"config": {"nodes_per_site": NODES_PER_SITE, "sites": 8,
+                    "warm_repeats": WARM_REPEATS},
+         "arms": results, "sweep": sweep}, indent=2) + "\n")
+    print(f"results written to {RESULTS_PATH}")
+
+    # The cold query costs the same either way (nothing is warm yet)...
+    assert cached["cold"]["messages"] == pytest.approx(
+        uncached["cold"]["messages"], rel=0.05)
+    # ...but every warm repeat must be strictly cheaper and strictly
+    # faster with the caches on.
+    for row in sweep:
+        assert row["cached_messages"] < row["uncached_messages"]
+        assert row["cached_mean_latency_ms"] < row["uncached_mean_latency_ms"]
+    assert hits >= WARM_REPEATS

@@ -33,6 +33,8 @@ def _build_plane(args) -> tuple:
         nodes_per_site=args.nodes,
         synthetic_sites=args.synthetic_sites,
         jitter=not args.no_jitter,
+        aggregate_cache=not args.no_aggregate_cache,
+        probe_cache_ms=args.probe_cache_ms,
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
@@ -49,6 +51,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="disable latency jitter (fully deterministic)")
     parser.add_argument("--password", default="rbay",
                         help="gate password installed by the workload")
+    parser.add_argument("--probe-cache-ms", type=float, default=0.0,
+                        help="staleness bound for cached tree-size probes "
+                             "(0 disables the probe cache)")
+    parser.add_argument("--no-aggregate-cache", action="store_true",
+                        help="disable subtree-accumulator memoization")
 
 
 def cmd_describe(args) -> int:
@@ -84,6 +91,9 @@ def cmd_query(args) -> int:
                  e.get("order_value", "")]
                 for e in result.entries]
         print(format_table(["site", "addr", "node id", "order value"], rows))
+    if args.show_counters:
+        print()
+        print(plane.counters.format())
     return 0 if result.satisfied else 1
 
 
@@ -164,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("sql", help="the query text")
     p.add_argument("--origin", default="Virginia", help="customer's home site")
+    p.add_argument("--show-counters", action="store_true",
+                   help="print cache/protocol counters after the query")
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("explain", help="show the query plan without running it")

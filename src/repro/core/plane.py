@@ -18,6 +18,7 @@ from repro.core.client import Customer
 from repro.core.monitor import SyntheticMonitor
 from repro.core.naming import AttributeHierarchy
 from repro.core.node import RBayNode
+from repro.metrics.counters import CounterRegistry
 from repro.net.latency import (
     LatencyModel,
     SyntheticLatencyModel,
@@ -65,6 +66,12 @@ class RBayConfig:
     #: Scope of attribute trees: "site" (administrative isolation, the
     #: paper's design) or "global" (the isolation-off ablation).
     tree_scope: str = "site"
+    #: Memoize subtree accumulators at every tree node (exact, dirty-flag
+    #: invalidated).  False is the caching-off ablation.
+    aggregate_cache: bool = True
+    #: Staleness bound (ms) for the query executor's step-1 probe cache;
+    #: 0 disables it (every query probes, the paper's baseline).
+    probe_cache_ms: float = 0.0
 
 
 class RBay:
@@ -85,12 +92,15 @@ class RBay:
             processing_ms=cfg.processing_delay_ms,
         )
         self.hierarchy = AttributeHierarchy()
+        #: Federation-wide cache/protocol counters (hit/miss/invalidation).
+        self.counters = CounterRegistry()
         self.context = QueryContext(
             self.sim,
             [site.name for site in self.registry],
             hierarchy=self.hierarchy,
             lease_ms=cfg.lease_ms,
             tree_scope=cfg.tree_scope,
+            probe_cache_ms=cfg.probe_cache_ms,
         )
         self.overlay = Overlay(
             self.sim,
@@ -168,12 +178,16 @@ class RBay:
         return self
 
     def _wire_node(self, node: RBayNode) -> None:
-        scribe = ScribeApplication(self.sim)
-        query_app = QueryApplication(self.context)
+        scribe = ScribeApplication(self.sim,
+                                   cache_enabled=self.config.aggregate_cache,
+                                   counters=self.counters)
+        query_app = QueryApplication(self.context, counters=self.counters)
         node.register_app(scribe)
         node.register_app(query_app)
         scribe.anycast_visitor = query_app.visit
         scribe.multicast_handler = SiteAdmin.apply_admin_command
+        # Local tree changes immediately distrust the node's probe cache.
+        scribe.add_tree_change_listener(query_app.on_tree_change)
 
     def add_node(self, site: Site, join_via: Optional[RBayNode] = None) -> RBayNode:
         """Dynamically add a node (protocol join when ``join_via`` given)."""

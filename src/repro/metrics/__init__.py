@@ -1,5 +1,6 @@
-"""Measurement utilities: latency recorders, CDFs, memory, load balance."""
+"""Measurement utilities: latency recorders, counters, CDFs, memory."""
 
+from repro.metrics.counters import CounterRegistry
 from repro.metrics.memory import deep_sizeof
 from repro.metrics.stats import (
     LatencyRecorder,
@@ -12,6 +13,7 @@ from repro.metrics.stats import (
 )
 
 __all__ = [
+    "CounterRegistry",
     "LatencyRecorder",
     "cdf_points",
     "coefficient_of_variation",

@@ -41,7 +41,12 @@ def percentile(values: Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     fraction = rank - low
-    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+    lo, hi = ordered[low], ordered[high]
+    if lo == hi:
+        return lo
+    # Clamp: float rounding (e.g. subnormal underflow) must not push the
+    # interpolated value outside the [lo, hi] bracket.
+    return min(max(lo * (1 - fraction) + hi * fraction, lo), hi)
 
 
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:

@@ -24,9 +24,11 @@ from repro.net.message import Message
 if TYPE_CHECKING:  # avoid the core <-> query.executor import cycle
     from repro.core.naming import AttributeHierarchy
     from repro.core.node import RBayNode
+from repro.metrics.counters import CounterRegistry
 from repro.pastry.node import Application
 from repro.query.predicates import Predicate
 from repro.query.sql import Query
+from repro.scribe.cache import TTLCache
 from repro.sim.engine import Simulator
 from repro.sim.futures import Future, FutureTimeout, gather
 
@@ -77,6 +79,7 @@ class QueryContext:
         site_timeout_ms: float = 10_000.0,
         probe_timeout_ms: float = 5_000.0,
         tree_scope: str = "site",
+        probe_cache_ms: float = 0.0,
     ):
         from repro.core.naming import AttributeHierarchy  # lazy: avoids cycle
 
@@ -91,6 +94,11 @@ class QueryContext:
         #: rendezvous inside each site (administrative isolation, §III-E);
         #: "global" is the isolation-off ablation mode.
         self.tree_scope = tree_scope
+        #: Staleness bound for step-1 size probes: a probe answered within
+        #: the last ``probe_cache_ms`` is reused instead of re-sent, so
+        #: repeated queries skip the probe round entirely.  0 disables the
+        #: cache (every query probes — the paper's baseline behaviour).
+        self.probe_cache_ms = probe_cache_ms
 
     def set_gateway(self, site_name: str, address: int) -> None:
         self.gateways[site_name] = address
@@ -110,9 +118,26 @@ class QueryApplication(Application):
 
     name = "query"
 
-    def __init__(self, context: QueryContext):
+    def __init__(self, context: QueryContext,
+                 counters: Optional[CounterRegistry] = None):
         self.context = context
         self._pending: Dict[int, Future] = {}
+        self.counters = counters
+        #: Step-1 probe cache: topic -> last observed tree size.  Entries
+        #: are trusted up to ``context.probe_cache_ms`` of staleness and
+        #: dropped eagerly when the co-located Scribe instance observes any
+        #: change to that tree (see :meth:`on_tree_change`).
+        self.probe_cache = TTLCache(counters, "query.probe_cache")
+
+    def on_tree_change(self, topic: str) -> None:
+        """Scribe observed a membership/accumulator change for ``topic``:
+        the cached probe answer can no longer be trusted."""
+        self.probe_cache.invalidate(topic)
+
+    def probe_size_hints(self) -> Dict[str, int]:
+        """Tree sizes still fresh in the probe cache (planner ordering)."""
+        return self.probe_cache.fresh_items(
+            self.context.sim.now, self.context.probe_cache_ms)
 
     # ------------------------------------------------------------------
     # Coordinator (the "query interface" near the customer)
@@ -306,24 +331,38 @@ class QueryApplication(Application):
             return done
 
         # Steps 1-2: probe sizes of every candidate tree, grouped by the
-        # predicate it serves.
+        # predicate it serves.  Fresh probe-cache entries answer locally;
+        # only the remainder costs a probe round.
         groups: List[List[str]] = [
             [site_tree(site_name, t) for t in self.context.candidate_trees(p)]
             for p in predicates
         ]
-        flat = [topic for group in groups for topic in group]
+        flat = list(dict.fromkeys(t for group in groups for t in group))
+        ttl = self.context.probe_cache_ms
+        size_of: Dict[str, int] = {}
+        to_probe: List[str] = []
+        for topic in flat:
+            hit = False
+            if ttl > 0:
+                hit, cached_size = self.probe_cache.get(topic, sim.now, ttl)
+            if hit:
+                size_of[topic] = cached_size
+            else:
+                to_probe.append(topic)
         probes = [
             node.scribe.tree_size(node, topic, timeout=self.context.probe_timeout_ms,
                                   scope=self.context.tree_scope)
-            for topic in flat
+            for topic in to_probe
         ]
 
         def _after_probe(sizes: Any) -> None:
             if isinstance(sizes, FutureTimeout):
-                sizes = [0] * len(flat)
-            size_of = {}
-            for topic, size in zip(flat, sizes):
-                size_of[topic] = 0 if isinstance(size, FutureTimeout) else int(size or 0)
+                sizes = [0] * len(to_probe)
+            for topic, size in zip(to_probe, sizes):
+                timed_out = isinstance(size, FutureTimeout)
+                size_of[topic] = 0 if timed_out else int(size or 0)
+                if ttl > 0 and not timed_out:
+                    self.probe_cache.put(topic, size_of[topic], sim.now)
             # Step 3: pick the predicate whose tree family is smallest.
             totals = [sum(size_of[t] for t in group) for group in groups]
             best_index: Optional[int] = None
@@ -363,7 +402,13 @@ class QueryApplication(Application):
             }
             self._anycast_chain(node, topics, state, size_of, done)
 
-        gather(sim, probes, timeout=self.context.probe_timeout_ms).add_callback(_after_probe)
+        if probes:
+            gather(sim, probes,
+                   timeout=self.context.probe_timeout_ms).add_callback(_after_probe)
+        else:
+            # Every candidate tree answered from the probe cache: step 1
+            # costs zero messages and zero round-trips.
+            sim.call_soon(_after_probe, [])
         return done
 
     def _anycast_chain(self, node: "RBayNode", topics: List[str], state: Dict[str, Any],

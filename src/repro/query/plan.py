@@ -43,10 +43,19 @@ class QueryPlan:
     predicate_plans: List[PredicatePlan] = field(default_factory=list)
     #: Per-site topic names probed in step 1.
     probes_per_site: Dict[str, List[str]] = field(default_factory=dict)
+    #: Cached tree sizes (from the executor's probe cache) used to order
+    #: probes and mark them skippable; empty when no hints were supplied.
+    size_hints: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_probes(self) -> int:
         return sum(len(topics) for topics in self.probes_per_site.values())
+
+    @property
+    def cached_probes(self) -> int:
+        """How many step-1 probes a fresh probe cache would answer."""
+        return sum(1 for topics in self.probes_per_site.values()
+                   for topic in topics if topic in self.size_hints)
 
     def local_checks(self) -> List[Predicate]:
         """Predicates re-checked at every visited member (step 4i)."""
@@ -65,6 +74,11 @@ class QueryPlan:
             lines.append(f"    {plan.describe()}")
         lines.append(f"    total size probes per site: "
                      f"{self.total_probes // max(len(self.target_sites), 1)}")
+        if self.size_hints:
+            lines.append(f"    probe cache: {self.cached_probes} of "
+                         f"{self.total_probes} probes answered from cache")
+            for topic in sorted(self.size_hints):
+                lines.append(f"      {topic}  ~{self.size_hints[topic]} member(s)")
         lines.append("  step 3: anycast the predicate family with the "
                      "smallest live membership")
         checks = ", ".join(str(p) for p in self.local_checks()) or "none"
@@ -79,10 +93,18 @@ class QueryPlan:
         return "\n".join(lines)
 
 
-def plan_query(query: Query, context: "QueryContext") -> QueryPlan:
-    """Build the static plan the executor would follow for ``query``."""
+def plan_query(query: Query, context: "QueryContext",
+               size_hints: Optional[Dict[str, int]] = None) -> QueryPlan:
+    """Build the static plan the executor would follow for ``query``.
+
+    ``size_hints`` — usually ``QueryApplication.probe_size_hints()`` —
+    lets the planner order each site's candidate trees by their cached
+    sizes (smallest first, unknown last) and report how many step-1
+    probes a warm cache would answer without messages.
+    """
     target_sites = list(query.sites) if query.sites is not None else list(context.site_names)
-    plan = QueryPlan(query=query, target_sites=target_sites)
+    plan = QueryPlan(query=query, target_sites=target_sites,
+                     size_hints=dict(size_hints or {}))
     seen = set()
     for conjunction in (query.where or [[]]):
         for predicate in conjunction:
@@ -99,5 +121,10 @@ def plan_query(query: Query, context: "QueryContext") -> QueryPlan:
         topics: List[str] = []
         for predicate_plan in plan.predicate_plans:
             topics.extend(site_tree(site_name, t) for t in predicate_plan.trees)
+        if plan.size_hints:
+            # Anycast searches ascending-size trees first (step 3): mirror
+            # that order whenever cached sizes are available.
+            topics.sort(key=lambda t: (t not in plan.size_hints,
+                                       plan.size_hints.get(t, 0)))
         plan.probes_per_site[site_name] = topics
     return plan

@@ -13,24 +13,37 @@ the tree.  RBAY uses three primitives on these trees (paper §II-B3):
 
 from repro.scribe.aggregate import (
     AggregateFunction,
+    AGGREGATE_FACTORIES,
     AGGREGATE_FUNCTIONS,
+    AllFunction,
+    AnyFunction,
     AvgFunction,
     CountFunction,
+    FilterCountFunction,
     MaxFunction,
     MinFunction,
     SumFunction,
+    make_aggregate,
 )
+from repro.scribe.cache import SubtreeAggregateCache, TTLCache
 from repro.scribe.scribe import ScribeApplication
 from repro.scribe.topic import topic_id
 
 __all__ = [
+    "AGGREGATE_FACTORIES",
     "AGGREGATE_FUNCTIONS",
     "AggregateFunction",
+    "AllFunction",
+    "AnyFunction",
     "AvgFunction",
     "CountFunction",
+    "FilterCountFunction",
     "MaxFunction",
     "MinFunction",
     "ScribeApplication",
+    "SubtreeAggregateCache",
     "SumFunction",
+    "TTLCache",
+    "make_aggregate",
     "topic_id",
 ]

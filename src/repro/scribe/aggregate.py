@@ -186,3 +186,30 @@ AGGREGATE_FUNCTIONS: Dict[str, AggregateFunction] = {
         AllFunction(),
     )
 }
+
+#: Factories for aggregates that need construction-time parameters.  The
+#: zero-arg built-ins above are shared instances; these are constructors,
+#: looked up by the same name space (paper: "filter" is a first-class
+#: composable function, §II-B3).
+AGGREGATE_FACTORIES: Dict[str, Callable[..., AggregateFunction]] = {
+    "filter_count": FilterCountFunction,
+}
+
+
+def make_aggregate(name: str, /, *args: Any, **kwargs: Any) -> AggregateFunction:
+    """Instantiate a registered aggregate function by name.
+
+    Zero-arg lookups return the shared :data:`AGGREGATE_FUNCTIONS`
+    instance; parameterized lookups (``make_aggregate("filter_count",
+    predicate, name="busy")``) construct a fresh instance through
+    :data:`AGGREGATE_FACTORIES`.  Raises ``KeyError`` for unknown names,
+    or for arguments passed to a non-parameterized aggregate.
+    """
+    if not args and not kwargs:
+        fn = AGGREGATE_FUNCTIONS.get(name)
+        if fn is not None:
+            return fn
+    factory = AGGREGATE_FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(f"unknown or non-parameterized aggregate function {name!r}")
+    return factory(*args, **kwargs)

@@ -1,0 +1,156 @@
+"""Caching layers for tree aggregation and query probes.
+
+RBAY's query protocol starts every query by probing candidate trees for
+their aggregate sizes, and every probe re-rolls the accumulators from the
+node's raw inputs — even though tree membership and member attributes
+change far more slowly than queries arrive.  This module supplies the two
+memoization primitives that amortize that cost:
+
+* :class:`SubtreeAggregateCache` — an *exact* memo of each tree node's
+  subtree accumulator per aggregate function.  Entries are dirty-flagged
+  (invalidated) whenever any input changes — a local member value, a
+  child's pushed accumulator, membership, or tree repair — so a valid
+  entry is always bit-identical to a from-scratch recomputation.  The
+  coherence property suite (``tests/test_scribe_cache_coherence.py``)
+  proves this under randomized update/churn interleavings.
+
+* :class:`TTLCache` — a bounded-staleness memo for *finalized* answers
+  (root aggregate values, the executor's step-1 tree-size probes).  A hit
+  requires the entry to be younger than the caller's ``max_age_ms``
+  staleness bound; callers that demand coherent answers pass a bound of
+  zero (or omit it), which bypasses the cache entirely.
+
+Both caches optionally report hit/miss/invalidation counts into a
+:class:`repro.metrics.counters.CounterRegistry` under a dotted prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.metrics.counters import CounterRegistry
+
+
+class SubtreeAggregateCache:
+    """Exact per-(topic, aggregate) memo of subtree accumulators.
+
+    The cache never expires entries on its own: correctness comes purely
+    from the owner invalidating on every mutation of the accumulator's
+    inputs.  Accumulator values are immutable (numbers, bools, tuples), so
+    returning the stored object is safe.
+    """
+
+    def __init__(self, counters: Optional[CounterRegistry] = None,
+                 prefix: str = "scribe.acc_cache"):
+        self._entries: Dict[Tuple[str, str], Any] = {}
+        self._counters = counters
+        self._prefix = prefix
+
+    def _count(self, event: str) -> None:
+        if self._counters is not None:
+            self._counters.increment(f"{self._prefix}.{event}")
+
+    # ------------------------------------------------------------------
+    def get(self, topic: str, agg_name: str, compute: Callable[[], Any]) -> Any:
+        """Return the memoized accumulator, computing and storing on miss."""
+        key = (topic, agg_name)
+        if key in self._entries:
+            self._count("hit")
+            return self._entries[key]
+        self._count("miss")
+        value = compute()
+        self._entries[key] = value
+        return value
+
+    def invalidate(self, topic: str, agg_name: Optional[str] = None) -> int:
+        """Drop the entry for one aggregate (or every aggregate) of a topic.
+
+        Returns the number of entries actually removed; only those count
+        as invalidations in the metrics.
+        """
+        if agg_name is not None:
+            keys = [(topic, agg_name)] if (topic, agg_name) in self._entries else []
+        else:
+            keys = [k for k in self._entries if k[0] == topic]
+        for key in keys:
+            del self._entries[key]
+            self._count("invalidate")
+        return len(keys)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TTLCache:
+    """Timestamped key/value memo honoring per-read staleness bounds.
+
+    Entries never expire at write time; each ``get`` decides freshness
+    against the caller's own ``max_age_ms``, so one cache can serve
+    callers with different staleness tolerances.  A bound that is ``None``
+    or non-positive always misses — TTL=0 means "only coherent answers",
+    and those must come from the authoritative path.
+    """
+
+    def __init__(self, counters: Optional[CounterRegistry] = None,
+                 prefix: str = "ttl_cache"):
+        self._entries: Dict[Hashable, Tuple[Any, float]] = {}
+        self._counters = counters
+        self._prefix = prefix
+
+    def _count(self, event: str) -> None:
+        if self._counters is not None:
+            self._counters.increment(f"{self._prefix}.{event}")
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, now: float,
+            max_age_ms: Optional[float]) -> Tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)``.
+
+        A hit requires an entry stored no more than ``max_age_ms`` ago.
+        """
+        if max_age_ms is None or max_age_ms <= 0:
+            self._count("miss")
+            return False, None
+        entry = self._entries.get(key)
+        if entry is None:
+            self._count("miss")
+            return False, None
+        value, stored_at = entry
+        if now - stored_at > max_age_ms:
+            self._count("miss")
+            return False, None
+        self._count("hit")
+        return True, value
+
+    def put(self, key: Hashable, value: Any, now: float) -> None:
+        """Store ``value`` for ``key``, stamped with the current time."""
+        self._entries[key] = (value, now)
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns True when something was removed."""
+        if key in self._entries:
+            del self._entries[key]
+            self._count("invalidate")
+            return True
+        return False
+
+    def invalidate_topic(self, topic: str) -> int:
+        """Drop every entry keyed by ``topic`` — either the bare topic name
+        or a tuple whose first element is the topic.  Returns the count."""
+        keys = [k for k in self._entries
+                if k == topic or (isinstance(k, tuple) and k and k[0] == topic)]
+        for key in keys:
+            del self._entries[key]
+            self._count("invalidate")
+        return len(keys)
+
+    def fresh_items(self, now: float, max_age_ms: Optional[float]) -> Dict[Hashable, Any]:
+        """All entries still within the staleness bound (for planner hints)."""
+        if max_age_ms is None or max_age_ms <= 0:
+            return {}
+        return {k: v for k, (v, stored_at) in self._entries.items()
+                if now - stored_at <= max_age_ms}
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -12,11 +12,13 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.metrics.counters import CounterRegistry
 from repro.net.message import Message
 from repro.pastry.node import Application, PastryNode
 from repro.pastry.nodeid import NodeId
 from repro.pastry.routing_table import NodeRef
 from repro.scribe.aggregate import AGGREGATE_FUNCTIONS, AggregateFunction
+from repro.scribe.cache import SubtreeAggregateCache, TTLCache
 from repro.scribe.topic import topic_id
 from repro.sim.engine import Simulator
 from repro.sim.futures import Future
@@ -79,6 +81,8 @@ class ScribeApplication(Application):
         functions: Optional[Dict[str, AggregateFunction]] = None,
         creator: str = "rbay",
         agg_flush_ms: float = 50.0,
+        cache_enabled: bool = True,
+        counters: Optional[CounterRegistry] = None,
     ):
         self.sim = sim
         self.creator = creator
@@ -93,6 +97,19 @@ class ScribeApplication(Application):
         self._pulls: Dict[int, Dict[str, Any]] = {}
         self.anycast_visitor: Optional[AnycastVisitor] = None
         self.multicast_handler: Optional[MulticastHandler] = None
+        self.counters = counters
+        #: Exact memo of this node's subtree accumulators, dirty-flagged on
+        #: every input mutation; None disables memoization (ablation mode).
+        self.acc_cache = (SubtreeAggregateCache(counters, "scribe.acc_cache")
+                          if cache_enabled else None)
+        #: Bounded-staleness memo of finalized root answers, consulted by
+        #: callers that pass a ``max_staleness_ms`` tolerance.
+        self.result_cache = (TTLCache(counters, "scribe.result_cache")
+                             if cache_enabled else None)
+        #: Called with the topic name whenever this node's view of a tree
+        #: changes (membership, child set, pushed accumulators).  The query
+        #: layer hooks this to invalidate its probe cache.
+        self.tree_change_listeners: List[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------
     # Public API (called with the owning node)
@@ -115,6 +132,23 @@ class ScribeApplication(Application):
         state = self._topics.get(topic)
         return state is not None and state.member
 
+    def register_function(self, fn: AggregateFunction) -> None:
+        """Add an aggregate function (e.g. a parameterized ``filter_count``)
+        to this node's registry under ``fn.name``."""
+        self.functions[fn.name] = fn
+
+    def add_tree_change_listener(self, listener: Callable[[str], None]) -> None:
+        """Subscribe to local tree-change notifications (cache invalidation)."""
+        self.tree_change_listeners.append(listener)
+
+    def _notify_tree_change(self, topic: str) -> None:
+        """A tree input changed at this node: drop bounded-stale answers for
+        the topic and tell listeners (the query layer's probe cache)."""
+        if self.result_cache is not None:
+            self.result_cache.invalidate_topic(topic)
+        for listener in self.tree_change_listeners:
+            listener(topic)
+
     def join(self, node: PastryNode, topic: str, scope: str = "global") -> None:
         """Subscribe ``node`` to ``topic``, building tree state on the way.
 
@@ -127,6 +161,7 @@ class ScribeApplication(Application):
             return
         state.member = True
         self.set_local(node, topic, "count", 1)
+        self._notify_tree_change(topic)
         if state.in_tree() and (state.parent is not None or state.is_root):
             return  # already wired into the tree as a forwarder
         node.route(state.key, self.name, {"op": "join", "topic": topic,
@@ -140,8 +175,13 @@ class ScribeApplication(Application):
         if state is None or not state.member:
             return
         state.member = False
+        # Capture the aggregate names *before* clearing the local values:
+        # a name contributed only by this member would otherwise vanish
+        # from agg_names() and never be re-pushed (stale parent state).
+        affected = state.agg_names()
         state.local.clear()
-        self._recompute_and_push(node, state)
+        self._recompute_and_push(node, state, names=affected)
+        self._notify_tree_change(topic)
         self._maybe_prune(node, state)
 
     def multicast(self, node: PastryNode, topic: str, payload: Dict[str, Any]) -> None:
@@ -187,12 +227,14 @@ class ScribeApplication(Application):
         state = self.topic_state(topic)
         state.local[agg_name] = value
         self._recompute_and_push(node, state, only=agg_name)
+        self._notify_tree_change(topic)
 
     def clear_local(self, node: PastryNode, topic: str, agg_name: str) -> None:
         state = self._topics.get(topic)
         if state and agg_name in state.local:
             del state.local[agg_name]
             self._recompute_and_push(node, state, only=agg_name)
+            self._notify_tree_change(topic)
 
     def query_aggregate(
         self,
@@ -201,11 +243,32 @@ class ScribeApplication(Application):
         agg_names: List[str],
         timeout: Optional[float] = None,
         scope: Optional[str] = None,
+        max_staleness_ms: Optional[float] = None,
     ) -> Future:
         """Fetch finalized aggregate values from the topic root.
 
         Resolves to ``{agg_name: value}``; missing aggregates come back None.
+
+        ``max_staleness_ms`` is the caller's staleness tolerance: when
+        positive and every requested aggregate has a locally-cached answer
+        younger than the bound, the future resolves from the cache without
+        sending a single message.  ``None`` or 0 always asks the root —
+        TTL=0 reads are exactly as coherent as the root's own (memoized,
+        dirty-flag-invalidated) accumulators.
         """
+        if max_staleness_ms is not None and max_staleness_ms > 0 \
+                and self.result_cache is not None:
+            cached: Dict[str, Any] = {}
+            for agg_name in agg_names:
+                hit, value = self.result_cache.get(
+                    (topic, agg_name), self.sim.now, max_staleness_ms)
+                if not hit:
+                    break
+                cached[agg_name] = value
+            else:
+                future = Future(self.sim, timeout=timeout)
+                self.sim.call_soon(future.try_resolve, cached)
+                return future
         request_id = next(_request_ids)
         future = Future(self.sim, timeout=timeout)
         self._pending[request_id] = future
@@ -251,10 +314,12 @@ class ScribeApplication(Application):
         return future
 
     def tree_size(self, node: PastryNode, topic: str, timeout: Optional[float] = None,
-                  scope: Optional[str] = None) -> Future:
+                  scope: Optional[str] = None,
+                  max_staleness_ms: Optional[float] = None) -> Future:
         """Tree size via the built-in count aggregate (query steps 1–2)."""
         future = Future(self.sim, timeout=timeout)
-        self.query_aggregate(node, topic, ["count"], timeout=timeout, scope=scope).add_callback(
+        self.query_aggregate(node, topic, ["count"], timeout=timeout, scope=scope,
+                             max_staleness_ms=max_staleness_ms).add_callback(
             lambda values: future.try_resolve(
                 values if isinstance(values, Exception) else int(values.get("count") or 0)
             )
@@ -363,6 +428,13 @@ class ScribeApplication(Application):
         elif kind == "agg_push":
             self._on_agg_push(node, data, msg.payload["origin"])
         elif kind == "agg_value":
+            # Write-through refresh: every answer that travels back —
+            # pushed-state reads and on-demand pulls alike — re-arms the
+            # bounded-staleness cache for subsequent tolerant readers.
+            if self.result_cache is not None:
+                for agg_name, value in data["values"].items():
+                    self.result_cache.put((data["topic"], agg_name), value,
+                                          self.sim.now)
             future = self._pending.pop(data["request_id"], None)
             if future is not None:
                 future.try_resolve(data["values"])
@@ -394,11 +466,13 @@ class ScribeApplication(Application):
     def _add_child(self, node: PastryNode, state: TopicState, ref: NodeRef) -> None:
         if ref.address == node.address:
             return
+        if ref.address not in state.children:
+            self._notify_tree_change(state.topic)
         state.children[ref.address] = ref
         node.send_app(ref.address, self.name, "parent_set", {"topic": state.topic})
 
     def _drop_child(self, node: PastryNode, state: TopicState, address: int) -> None:
-        state.children.pop(address, None)
+        dropped = state.children.pop(address, None)
         changed = False
         for child_map in state.child_acc.values():
             if address in child_map:
@@ -406,6 +480,8 @@ class ScribeApplication(Application):
                 changed = True
         if changed:
             self._recompute_and_push(node, state)
+        if changed or dropped is not None:
+            self._notify_tree_change(state.topic)
 
     def _on_parent_set(self, node: PastryNode, topic: str, parent_addr: int) -> None:
         state = self.topic_state(topic)
@@ -546,6 +622,22 @@ class ScribeApplication(Application):
     # Aggregation (RBAY's extension, §II-B3)
     # ------------------------------------------------------------------
     def _own_acc(self, state: TopicState, agg_name: str) -> Any:
+        """This node's subtree accumulator, memoized when caching is on.
+
+        Coherence contract: every mutation of the inputs (local value,
+        child accumulators, membership) invalidates the memo via
+        :meth:`_recompute_and_push`, so a cache hit is always exactly the
+        value :meth:`_compute_own_acc` would return.
+        """
+        if self.acc_cache is None:
+            return self._compute_own_acc(state, agg_name)
+        return self.acc_cache.get(
+            state.topic, agg_name,
+            lambda: self._compute_own_acc(state, agg_name),
+        )
+
+    def _compute_own_acc(self, state: TopicState, agg_name: str) -> Any:
+        """Roll this node's accumulator up from its raw inputs (uncached)."""
         fn = self.functions[agg_name]
         acc = fn.zero()
         if state.member and agg_name in state.local:
@@ -554,10 +646,17 @@ class ScribeApplication(Application):
             acc = fn.combine(acc, child_value)
         return acc
 
-    def _recompute_and_push(self, node: PastryNode, state: TopicState, only: Optional[str] = None) -> None:
-        """Mark aggregates dirty and arm the coalescing flush timer."""
-        names = [only] if only is not None else state.agg_names()
-        state.dirty.update(n for n in names if n in self.functions)
+    def _recompute_and_push(self, node: PastryNode, state: TopicState,
+                            only: Optional[str] = None,
+                            names: Optional[List[str]] = None) -> None:
+        """Invalidate memos, mark aggregates dirty, arm the flush timer."""
+        if names is None:
+            names = [only] if only is not None else state.agg_names()
+        names = [n for n in names if n in self.functions]
+        if self.acc_cache is not None:
+            for agg_name in names:
+                self.acc_cache.invalidate(state.topic, agg_name)
+        state.dirty.update(names)
         if not state.dirty:
             return
         if self.agg_flush_ms <= 0:
@@ -596,3 +695,4 @@ class ScribeApplication(Application):
             acc = tuple(acc)  # tuples survive payload round-trips as lists
         state.child_acc.setdefault(agg_name, {})[child_addr] = acc
         self._recompute_and_push(node, state, only=agg_name)
+        self._notify_tree_change(state.topic)

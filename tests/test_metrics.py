@@ -1,7 +1,8 @@
-"""Tests for statistics and memory measurement utilities."""
+"""Tests for statistics, counters, and memory measurement utilities."""
 
 import pytest
 
+from repro.metrics.counters import CounterRegistry
 from repro.metrics.memory import deep_sizeof, deep_sizeof_many
 from repro.metrics.stats import (
     LatencyRecorder,
@@ -99,6 +100,59 @@ class TestLatencyRecorder:
         recorder.record("x", 1)
         recorder.samples("x").append(99)
         assert recorder.count("x") == 1
+
+
+class TestCounterRegistry:
+    def test_unknown_name_reads_zero(self):
+        assert CounterRegistry().get("never.touched") == 0
+
+    def test_increment_returns_new_value(self):
+        counters = CounterRegistry()
+        assert counters.increment("a.hit") == 1
+        assert counters.increment("a.hit", 4) == 5
+        assert counters.get("a.hit") == 5
+
+    def test_snapshot_is_a_copy(self):
+        counters = CounterRegistry()
+        counters.increment("a.hit")
+        snap = counters.snapshot()
+        snap["a.hit"] = 99
+        assert counters.get("a.hit") == 1
+
+    def test_snapshot_prefix_filter(self):
+        counters = CounterRegistry()
+        counters.increment("scribe.acc_cache.hit")
+        counters.increment("query.probe_cache.hit")
+        assert counters.snapshot("scribe") == {"scribe.acc_cache.hit": 1}
+
+    def test_reset_all_and_prefix(self):
+        counters = CounterRegistry()
+        counters.increment("a.x")
+        counters.increment("b.y")
+        counters.reset("a")
+        assert counters.get("a.x") == 0 and counters.get("b.y") == 1
+        counters.reset()
+        assert len(counters) == 0
+
+    def test_names_sorted(self):
+        counters = CounterRegistry()
+        counters.increment("z.last")
+        counters.increment("a.first")
+        assert counters.names() == ["a.first", "z.last"]
+
+    def test_merge_sums_per_name(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        a.increment("x", 2)
+        b.increment("x", 3)
+        b.increment("y")
+        a.merge(b)
+        assert a.get("x") == 5 and a.get("y") == 1
+
+    def test_format_is_a_table(self):
+        counters = CounterRegistry()
+        counters.increment("cache.hit", 7)
+        text = counters.format()
+        assert "cache.hit" in text and "7" in text
 
 
 class TestDeepSizeof:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.scribe.aggregate import (
+    AGGREGATE_FACTORIES,
     AGGREGATE_FUNCTIONS,
     AllFunction,
     AnyFunction,
@@ -12,6 +13,7 @@ from repro.scribe.aggregate import (
     MaxFunction,
     MinFunction,
     SumFunction,
+    make_aggregate,
 )
 
 
@@ -69,6 +71,29 @@ class TestFunctions:
             acc = fn.combine(acc, fn.lift(value))
         assert acc == 2
         assert fn.name == "below10"
+
+    def test_make_aggregate_returns_shared_builtin(self):
+        assert make_aggregate("sum") is AGGREGATE_FUNCTIONS["sum"]
+
+    def test_make_aggregate_filter_count_with_predicate(self):
+        fn = make_aggregate("filter_count", lambda v: v > 10, name="busy")
+        assert isinstance(fn, FilterCountFunction)
+        assert fn.name == "busy"
+        assert fn.lift(42) == 1 and fn.lift(3) == 0
+        # Parameterized lookups construct fresh instances every time.
+        assert make_aggregate("filter_count", lambda v: True) is not fn
+
+    def test_make_aggregate_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_aggregate("no_such_aggregate")
+
+    def test_make_aggregate_args_to_nonparameterized_raises(self):
+        with pytest.raises(KeyError):
+            make_aggregate("sum", lambda v: v)
+
+    def test_filter_count_registered_as_factory(self):
+        assert AGGREGATE_FACTORIES["filter_count"] is FilterCountFunction
+        assert "filter_count" not in AGGREGATE_FUNCTIONS
 
     def test_combine_associative_commutative(self):
         fn = SumFunction()

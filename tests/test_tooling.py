@@ -1,4 +1,8 @@
-"""Tests for tracing, ASCII plotting, query plans, and the CLI."""
+"""Tests for tracing, ASCII plotting, query plans, the CLI, and tools/."""
+
+import importlib.util
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -179,6 +183,14 @@ class TestCLI:
              "--nodes", "4", "--no-jitter"], capsys)
         assert code == 1
 
+    def test_query_show_counters(self, capsys):
+        code, out = self.run_cli(
+            ["query", "SELECT 1 FROM * WHERE CPU_utilization < 10%;",
+             "--nodes", "6", "--no-jitter", "--probe-cache-ms", "60000",
+             "--show-counters"], capsys)
+        assert code == 0
+        assert "counter" in out and "query.probe_cache" in out
+
     def test_explain(self, capsys):
         code, out = self.run_cli(
             ["explain", "SELECT 2 FROM Tokyo WHERE GPU = true;",
@@ -225,3 +237,73 @@ class TestCLILua:
     def test_lua_syntax_error_reported(self, capsys):
         code, _, err = self.run_cli(["lua", "if if if"], capsys)
         assert code == 1
+
+
+def load_coverage_checker():
+    repo = Path(__file__).resolve().parent.parent
+    spec = importlib.util.spec_from_file_location(
+        "check_coverage", repo / "tools" / "check_coverage.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = load_coverage_checker()
+
+
+class TestCoverageChecker:
+    def test_executable_lines_finds_nested_bodies(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text(
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+            "X = 5\n"
+        )
+        assert {1, 2, 3, 4, 5} <= checker.executable_lines(source)
+
+    def test_comments_and_blanks_not_executable(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text("# comment\n\nY = 1\n")
+        lines = checker.executable_lines(source)
+        assert 3 in lines and 1 not in lines and 2 not in lines
+
+    def test_default_targets_exist_and_compile(self):
+        for target in checker.DEFAULT_TARGETS:
+            assert target.exists()
+            assert checker.executable_lines(target)
+
+    def test_coverage_ratio(self):
+        assert checker.coverage_ratio(set(), set()) == 1.0
+        assert checker.coverage_ratio({1, 2}, {1, 2, 3, 4}) == 0.5
+        # Hits outside the executable set are ignored, not counted.
+        assert checker.coverage_ratio({1, 99}, {1, 2}) == 0.5
+
+    def test_tracer_records_only_watched_files(self, tmp_path):
+        source = tmp_path / "traced.py"
+        source.write_text("def f():\n    return 2 + 2\n")
+        spec = importlib.util.spec_from_file_location("traced_mod", source)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        hits = {str(source): set()}
+        tracer = checker.make_tracer(hits)
+        old = sys.gettrace()
+        sys.settrace(tracer)
+        try:
+            assert module.f() == 4
+        finally:
+            sys.settrace(old)
+        assert 2 in hits[str(source)]
+        assert list(hits) == [str(source)]  # nothing foreign was added
+
+    def test_report_rows(self, tmp_path):
+        a, b = tmp_path / "a.py", tmp_path / "b.py"
+        for f in (a, b):
+            f.write_text("Z = 1\n")
+        executable = {str(a): {1}, str(b): {1}}
+        hits = {str(a): {1}, str(b): set()}
+        rows = checker.report(hits, executable)
+        assert [row[3] for row in rows] == [1.0, 0.0]
+        assert rows[0][1] == 1 and rows[1][1] == 0
