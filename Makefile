@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench coverage examples outputs clean
+.PHONY: install test bench chaos coverage examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,14 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Chaos property suite: randomized fault schedules over many seeds, plus
+# the retries-on/off recovery ablation.  RBAY_CHAOS_SEEDS widens the sweep.
+chaos:
+	RBAY_CHAOS_SEEDS=$${RBAY_CHAOS_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
+	  tests/test_chaos_properties.py tests/test_faults_injector.py -q
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_chaos_recovery.py \
+	  --benchmark-only -s
 
 # Line-coverage floor for the caching subsystem.  When pytest-cov is
 # installed, also print a full term-missing report; the gate itself uses

@@ -27,6 +27,15 @@ from repro.workloads.generator import FederationWorkload, WorkloadSpec
 from repro.workloads.queries import QueryWorkload
 
 
+def _load_fault_schedule(args):
+    if getattr(args, "fault_schedule", None) is None:
+        return None
+    from repro.faults import FaultSchedule
+
+    with open(args.fault_schedule, "r", encoding="utf-8") as handle:
+        return FaultSchedule.from_json(handle.read())
+
+
 def _build_plane(args) -> tuple:
     config = RBayConfig(
         seed=args.seed,
@@ -35,6 +44,8 @@ def _build_plane(args) -> tuple:
         jitter=not args.no_jitter,
         aggregate_cache=not args.no_aggregate_cache,
         probe_cache_ms=args.probe_cache_ms,
+        site_retries=getattr(args, "site_retries", 2),
+        fault_schedule=_load_fault_schedule(args),
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
@@ -56,6 +67,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "(0 disables the probe cache)")
     parser.add_argument("--no-aggregate-cache", action="store_true",
                         help="disable subtree-accumulator memoization")
+    parser.add_argument("--fault-schedule", default=None, metavar="PATH",
+                        help="JSON fault schedule (see repro.faults) installed "
+                             "at build time")
+    parser.add_argument("--site-retries", type=int, default=2,
+                        help="per-step retry budget for lost query-protocol "
+                             "rounds (0 disables retries)")
 
 
 def cmd_describe(args) -> int:

@@ -17,6 +17,8 @@ from repro.core.admin import SiteAdmin
 from repro.core.client import Customer
 from repro.core.monitor import SyntheticMonitor
 from repro.core.naming import AttributeHierarchy
+from repro.ext.churn import ChurnTracker
+from repro.faults.injector import FaultInjector
 from repro.core.node import RBayNode
 from repro.metrics.counters import CounterRegistry
 from repro.net.latency import (
@@ -72,6 +74,16 @@ class RBayConfig:
     #: Staleness bound (ms) for the query executor's step-1 probe cache;
     #: 0 disables it (every query probes, the paper's baseline).
     probe_cache_ms: float = 0.0
+    #: Timed-out query-protocol steps (probe round, anycast, remote site
+    #: request) are retried this many times through the truncated-
+    #: exponential backoff before being written off; 0 is the
+    #: retries-off ablation (a lost step fails the query immediately).
+    site_retries: int = 2
+    #: Backoff slot for protocol-step retries (ms).
+    retry_slot_ms: float = 50.0
+    #: Optional :class:`repro.faults.FaultSchedule` installed at build
+    #: time; the injector is reachable as ``plane.fault_injector``.
+    fault_schedule: Optional[Any] = None
 
 
 class RBay:
@@ -101,6 +113,9 @@ class RBay:
             lease_ms=cfg.lease_ms,
             tree_scope=cfg.tree_scope,
             probe_cache_ms=cfg.probe_cache_ms,
+            max_step_retries=cfg.site_retries,
+            retry_slot_ms=cfg.retry_slot_ms,
+            retry_rng=self.streams.stream("query-retry"),
         )
         self.overlay = Overlay(
             self.sim,
@@ -116,6 +131,10 @@ class RBay:
         self.monitor = SyntheticMonitor(
             self.sim, self.streams.stream("monitor"), interval_ms=cfg.monitor_interval_ms
         )
+        self.churn = ChurnTracker(self.sim)
+        #: Set by :meth:`install_faults` (or at build time when the config
+        #: carries a ``fault_schedule``).
+        self.fault_injector: Optional["FaultInjector"] = None
         self._built = False
 
     # ------------------------------------------------------------------
@@ -175,7 +194,29 @@ class RBay:
             elif members:
                 self.context.set_gateway(site.name, members[0].address)
         self._built = True
+        if self.config.fault_schedule is not None:
+            self.install_faults(self.config.fault_schedule)
         return self
+
+    def install_faults(self, schedule: Optional[Any] = None) -> FaultInjector:
+        """Hook a fault injector to the plane (optionally with a script).
+
+        Safe to call once; later calls load additional schedules into the
+        same injector.
+        """
+        if self.fault_injector is None:
+            self.fault_injector = FaultInjector(
+                self.sim,
+                self.network,
+                self.nodes,
+                rng=self.streams.stream("faults"),
+                counters=self.counters,
+                churn=self.churn,
+            )
+            self.fault_injector.install(schedule)
+        elif schedule is not None:
+            self.fault_injector.load(schedule)
+        return self.fault_injector
 
     def _wire_node(self, node: RBayNode) -> None:
         scribe = ScribeApplication(self.sim,

@@ -41,6 +41,9 @@ class NodeChurnHistory:
                 self.up_since = None
                 self.flaps += 1  # only a real up->down transition counts
         elif kind == "up":
+            # Recovery must refresh last_up, or stability scoring treats a
+            # node that just came back as last seen at its first join.
+            self.last_up = now
             if self.up_since is None:
                 self.up_since = now
         elif kind == "lease_ok":

@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the simulated federation.
+
+``schedule`` declares *what* goes wrong and when (crash/recover,
+partitions, message rules); ``injector`` executes a schedule against a
+built plane through the network's fault hook.  See
+``docs/architecture.md`` ("Failure model & recovery") for the invariants
+the chaos suite holds the plane to.
+"""
+
+from repro.faults.injector import FaultInjector, protocol_kind
+from repro.faults.schedule import FaultEvent, FaultSchedule, MessageRule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "MessageRule",
+    "protocol_kind",
+]

@@ -3,7 +3,11 @@
 Counters are plain monotonically-increasing integers addressed by dotted
 names ("scribe.acc_cache.hit", "query.probe_cache.invalidate", ...).  One
 registry is shared by every node of a simulated plane, so experiments read
-federation-wide totals from a single place.  The registry is deliberately
+federation-wide totals from a single place.  Established families include
+``scribe.*`` (tree caches), ``query.probe_cache.*``, ``query.retry.*``
+(probe / anycast / site protocol-step retries), ``query.degraded`` and
+``query.orphan_release`` (failure-path settlements), and ``faults.*``
+(injected crashes, partitions, and message-rule hits).  The registry is deliberately
 tiny: increment, read, snapshot, and reset — no types, no labels, no
 export machinery — because the simulator is single-threaded and the
 consumers are tests and benchmark tables.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.net.latency import LatencyModel, UniformLatencyModel
@@ -14,6 +15,24 @@ from repro.sim.engine import Simulator
 
 class NetworkError(RuntimeError):
     """Raised for invalid network operations (unknown address, detached host)."""
+
+
+@dataclass
+class FaultDecision:
+    """Verdict of a fault filter for one message send.
+
+    ``drop`` wins over everything; otherwise the message is delivered
+    ``1 + duplicates`` times, each copy with its own latency draw plus
+    ``extra_delay_ms``.  Returned by the injector's ``on_send`` hook; the
+    network keeps its conservation counters consistent for every verdict.
+    """
+
+    drop: bool = False
+    extra_delay_ms: float = 0.0
+    duplicates: int = 0
+
+#: Signature of the per-send fault hook: (src, dst, msg) -> decision or None.
+FaultFilter = Callable[["Host", "Host", Message], Optional[FaultDecision]]
 
 
 class Host:
@@ -70,15 +89,22 @@ class Network:
         self.processing_ms = processing_ms
         self._hosts: Dict[int, Host] = {}
         self._next_address = 0
-        # Accounting.
+        # Accounting.  Conservation invariant (chaos suite checks it):
+        #   messages_sent == messages_delivered + messages_dropped + messages_in_flight
+        # holds at every instant; sends from detached (crashed) hosts are
+        # suppressed outside the equation (messages_suppressed).
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_in_flight = 0
+        self.messages_suppressed = 0
         self.bytes_sent = 0
         self.per_host_received: Counter = Counter()
         self.per_host_sent: Counter = Counter()
         self.per_host_bytes_in: Counter = Counter()
         self._delivery_hook: Optional[Callable[[Message], None]] = None
+        #: Per-send fault hook installed by a FaultInjector (None = healthy).
+        self.fault_filter: Optional[FaultFilter] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -97,6 +123,21 @@ class Network:
         if host.address in self._hosts:
             del self._hosts[host.address]
         host.alive = False
+
+    def reattach(self, host: Host) -> None:
+        """Crash-recover a previously detached host at its old address.
+
+        The address is stable across the outage, so peers' routing state
+        remains valid; messages sent while the host was down stay dropped.
+        """
+        if host.address is None:
+            raise NetworkError("cannot reattach a host that was never attached")
+        occupant = self._hosts.get(host.address)
+        if occupant is not None and occupant is not host:
+            raise NetworkError(f"address {host.address} is already occupied")
+        self._hosts[host.address] = host
+        host.network = self
+        host.alive = True
 
     def host(self, address: int) -> Host:
         """Look up the host at ``address`` (NetworkError if unknown)."""
@@ -120,6 +161,11 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: Host, dst_address: int, msg: Message) -> None:
         """Schedule delivery of ``msg`` from ``src`` to ``dst_address``."""
+        if not src.alive or self._hosts.get(src.address) is not src:
+            # A crashed host sends nothing: callbacks it scheduled before
+            # the crash (flush timers, retries) must not leak onto the wire.
+            self.messages_suppressed += 1
+            return
         msg.src = src.address
         msg.dst = dst_address
         self.messages_sent += 1
@@ -135,12 +181,32 @@ class Network:
             # (the sender learns via its own timeouts, as on a real network).
             self.messages_dropped += 1
             return
-        delay = self.latency.one_way_delay_ms(src.site, dst_host.site) + self.processing_ms
-        self.sim.schedule(delay, self._deliver, dst_address, msg, size)
+        extra_delay = 0.0
+        copies = 1
+        if self.fault_filter is not None:
+            decision = self.fault_filter(src, dst_host, msg)
+            if decision is not None:
+                if decision.drop:
+                    self.messages_dropped += 1
+                    return
+                extra_delay = decision.extra_delay_ms
+                copies += decision.duplicates
+        for copy in range(copies):
+            if copy:  # duplicates are extra wire packets: account them
+                self.messages_sent += 1
+                self.bytes_sent += size
+                self.per_host_sent[src.address] += 1
+            delay = (self.latency.one_way_delay_ms(src.site, dst_host.site)
+                     + self.processing_ms + extra_delay)
+            self.messages_in_flight += 1
+            self.sim.schedule(delay, self._deliver, dst_address, msg, size)
 
     def _deliver(self, dst_address: int, msg: Message, size: int) -> None:
+        self.messages_in_flight -= 1
         host = self._hosts.get(dst_address)
         if host is None or not host.alive:
+            # In-flight to a host that crashed mid-transit: dropped exactly
+            # once here, mirroring the send-time unknown-destination path.
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
@@ -157,10 +223,17 @@ class Network:
         self._delivery_hook = hook
 
     def reset_counters(self) -> None:
-        """Zero all traffic counters (e.g. after warm-up, before measuring)."""
-        self.messages_sent = 0
+        """Zero all traffic counters (e.g. after warm-up, before measuring).
+
+        ``messages_in_flight`` is a gauge, not a counter: it tracks packets
+        currently scheduled for delivery and is left untouched — but the
+        conservation identity only holds again once those drain, so callers
+        comparing sent/delivered/dropped should reset at a quiet moment.
+        """
+        self.messages_sent = self.messages_in_flight
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_suppressed = 0
         self.bytes_sent = 0
         self.per_host_received.clear()
         self.per_host_sent.clear()

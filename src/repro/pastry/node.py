@@ -273,5 +273,26 @@ class PastryNode(Host):
         if self.network is not None:
             self.network.detach(self)
 
+    def announce(self) -> None:
+        """Tell remembered neighbors we are (back) on the network.
+
+        Peers purge a dead node from their routing state, and stabilization
+        only *removes* entries — nothing re-adds a node that crash-recovers
+        at its old address.  Sending our neighborhood as an unsolicited
+        leaf-set reply makes every receiver fold us back in (the ls_rep
+        handler add_peers every live ref), restoring the links needed for
+        routes to reach us again.
+        """
+        neighbors = {ref.address: ref for ref in self.leaf_set.members()}
+        if self.site_leaf_set is not None:
+            for ref in self.site_leaf_set.members():
+                neighbors.setdefault(ref.address, ref)
+        refs = [(r.node_id.value, r.address, r.site_index)
+                for r in neighbors.values()]
+        refs.append((self.node_id.value, self.address, self.site.index))
+        for address in neighbors:
+            self.send(address, Message(kind="pastry.ls_rep",
+                                       payload={"refs": refs}))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PastryNode {self.node_id.hex()[:8]}… addr={self.address} site={self.site.name}>"

@@ -38,8 +38,15 @@ class TruncatedExponentialBackoff:
         return self.failures >= self.max_attempts
 
     def next_delay_ms(self) -> float:
-        """Delay before the next re-query, given the failures so far."""
-        exponent = min(max(self.failures, 1), self.max_exponent)
+        """Delay before the next re-query, given the failures so far.
+
+        With zero recorded failures the delay is zero: the paper's "after
+        c fails" semantics mean a first attempt goes out immediately
+        (2^0 - 1 = 0 slots), not after up to ``2 * slot_ms``.
+        """
+        if self.failures <= 0:
+            return 0.0
+        exponent = min(self.failures, self.max_exponent)
         slots = self._rng.randint(0, (1 << exponent) - 1)
         return slots * self.slot_ms
 

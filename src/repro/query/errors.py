@@ -1,0 +1,37 @@
+"""Typed errors for the query protocol.
+
+Under injected faults a query must either complete — possibly with
+``degraded=True`` partial results — or fail with one of these exceptions.
+A raw :class:`~repro.sim.futures.FutureTimeout` escaping to a caller is a
+protocol bug (the chaos suite asserts it never happens): timeouts inside
+the protocol are retried through the backoff and, when exhausted, folded
+into a degraded result or surfaced as :class:`QueryTimeout`.
+"""
+
+from __future__ import annotations
+
+
+class QueryError(Exception):
+    """Base class for typed query-protocol failures."""
+
+
+class QueryTimeout(QueryError):
+    """The query's overall deadline elapsed before a result was assembled.
+
+    Carries the query id so late-arriving site results can still be
+    identified (their reservations are released by the executor).
+    """
+
+    def __init__(self, query_id: int, deadline_ms: float):
+        super().__init__(
+            f"query {query_id} missed its {deadline_ms:.0f}ms deadline")
+        self.query_id = query_id
+        self.deadline_ms = deadline_ms
+
+
+class QueryAborted(QueryError):
+    """The request gave up after exhausting its re-query attempt budget."""
+
+    def __init__(self, attempts: int):
+        super().__init__(f"request aborted after {attempts} attempts")
+        self.attempts = attempts

@@ -16,6 +16,7 @@ time — exactly the structure the paper uses to explain Figure 10.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
@@ -26,6 +27,8 @@ if TYPE_CHECKING:  # avoid the core <-> query.executor import cycle
     from repro.core.node import RBayNode
 from repro.metrics.counters import CounterRegistry
 from repro.pastry.node import Application
+from repro.query.backoff import TruncatedExponentialBackoff
+from repro.query.errors import QueryTimeout
 from repro.query.predicates import Predicate
 from repro.query.sql import Query
 from repro.scribe.cache import TTLCache
@@ -54,6 +57,13 @@ class QueryResult:
     tree_sizes: Dict[str, int] = field(default_factory=dict)
     #: Members visited by the anycast DFS, across all sites (protocol cost).
     visited_members: int = 0
+    #: True when at least one target site never answered (after retries):
+    #: the entries are a partial view of the federation, not a full one.
+    degraded: bool = False
+    #: Sites that failed to answer within the retry budget.
+    failed_sites: List[str] = field(default_factory=list)
+    #: Protocol-step retries spent assembling this result (probe/anycast/site).
+    retries: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -80,6 +90,9 @@ class QueryContext:
         probe_timeout_ms: float = 5_000.0,
         tree_scope: str = "site",
         probe_cache_ms: float = 0.0,
+        max_step_retries: int = 2,
+        retry_slot_ms: float = 50.0,
+        retry_rng: Optional[random.Random] = None,
     ):
         from repro.core.naming import AttributeHierarchy  # lazy: avoids cycle
 
@@ -90,6 +103,12 @@ class QueryContext:
         self.lease_ms = lease_ms
         self.site_timeout_ms = site_timeout_ms
         self.probe_timeout_ms = probe_timeout_ms
+        #: Timed-out protocol steps (probe round, anycast, remote site
+        #: request) are retried through the truncated-exponential backoff up
+        #: to this many times before the step is written off as failed.
+        self.max_step_retries = max_step_retries
+        self.retry_slot_ms = retry_slot_ms
+        self.retry_rng = retry_rng if retry_rng is not None else random.Random(0)
         #: Routing scope for the per-site attribute trees: "site" keeps
         #: rendezvous inside each site (administrative isolation, §III-E);
         #: "global" is the isolation-off ablation mode.
@@ -102,6 +121,19 @@ class QueryContext:
 
     def set_gateway(self, site_name: str, address: int) -> None:
         self.gateways[site_name] = address
+
+    def step_backoff(self) -> TruncatedExponentialBackoff:
+        """A fresh backoff sized to the per-step retry budget."""
+        return TruncatedExponentialBackoff(
+            self.retry_rng, slot_ms=self.retry_slot_ms,
+            max_attempts=self.max_step_retries + 1)
+
+    @property
+    def query_deadline_ms(self) -> float:
+        """Overall fan-out deadline: room for every retry round to finish."""
+        budget = self.site_timeout_ms * (self.max_step_retries + 1)
+        slack = self.retry_slot_ms * (1 << min(self.max_step_retries + 1, 8))
+        return budget + slack
 
     def candidate_trees(self, predicate: Predicate) -> List[str]:
         """Tree names to search for one predicate (hybrid expansion)."""
@@ -150,7 +182,15 @@ class QueryApplication(Application):
         caller: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> Future:
-        """Run ``query`` from ``node``; resolves to a :class:`QueryResult`."""
+        """Run ``query`` from ``node``; resolves to a :class:`QueryResult`.
+
+        Failure contract: the future resolves to a QueryResult — possibly
+        ``degraded=True`` with the unreachable sites listed — or, when the
+        caller's ``timeout`` elapses first, to a typed :class:`QueryTimeout`.
+        It never resolves to a raw FutureTimeout, and reservations taken by
+        any site are settled (committed or released) on every path,
+        including late answers that arrive after the query concluded.
+        """
         sim = self.context.sim
         query_id = next(_query_ids)
         result = QueryResult(
@@ -160,10 +200,13 @@ class QueryApplication(Application):
         )
         target_sites = query.sites if query.sites is not None else self.context.site_names
         result.sites_queried = list(target_sites)
-        done = Future(sim, timeout=timeout)
+        done = Future(sim, timeout=timeout, timeout_value=lambda: QueryTimeout(
+            query_id, timeout))
 
         site_futures: List[Future] = []
+        fanned_out: List[str] = []
         answered: List[str] = []
+        retries_used = [0]
         for site_name in target_sites:
             if site_name == node.site.name:
                 future = self._run_site(node, query_id, query, payload, caller)
@@ -171,35 +214,47 @@ class QueryApplication(Application):
                 gateway = self.context.gateways.get(site_name)
                 if gateway is None:
                     continue
-                future = self._ask_remote_site(node, gateway, query_id, query, payload, caller)
+                future = self._ask_remote_site(node, gateway, query_id, query,
+                                               payload, caller, retries_used)
             future.add_callback(self._tag_site(answered, site_name))
             site_futures.append(future)
+            fanned_out.append(site_name)
 
         def _merge(site_results: Any) -> None:
             if isinstance(site_results, FutureTimeout):
-                site_results = []
+                site_results = [FutureTimeout()] * len(site_futures)
             entries: List[Dict[str, Any]] = []
-            for site_result in site_results:
+            for site_name, site_result in zip(fanned_out, site_results):
                 if isinstance(site_result, FutureTimeout) or site_result is None:
+                    result.failed_sites.append(site_name)
                     continue
                 entries.extend(site_result.get("entries", []))
                 result.tree_sizes.update(site_result.get("tree_sizes", {}))
                 result.visited_members += site_result.get("visited", 0)
+                result.retries += site_result.get("retries", 0)
             selected, rejected = self._select(query, entries)
             satisfied = query.k is None or len(selected) >= query.k
-            if satisfied:
+            # A caller whose deadline already fired cannot take the nodes:
+            # treat the result as declined and release every reservation.
+            caller_gone = done.resolved
+            if satisfied and not caller_gone:
                 self._settle_locks(node, query_id, selected, rejected)
             else:
                 # A short query commits nothing: every reservation is
                 # released so a re-query (ours or a competitor's) can win.
                 self._settle_locks(node, query_id, [], selected + rejected)
             result.entries = selected
-            result.satisfied = satisfied
+            result.satisfied = satisfied and not caller_gone
             result.sites_answered = list(answered)
+            result.retries += retries_used[0]
+            result.degraded = bool(result.failed_sites)
             result.finished_at = sim.now
+            if result.degraded and self.counters is not None:
+                self.counters.increment("query.degraded")
             done.try_resolve(result)
 
-        gather(sim, site_futures, timeout=self.context.site_timeout_ms).add_callback(_merge)
+        gather(sim, site_futures,
+               timeout=self.context.query_deadline_ms).add_callback(_merge)
         return done
 
     @staticmethod
@@ -247,21 +302,57 @@ class QueryApplication(Application):
     # ------------------------------------------------------------------
     def _ask_remote_site(self, node: "RBayNode", gateway: int, query_id: int,
                          query: Query, payload: Optional[Dict[str, Any]],
-                         caller: Optional[str]) -> Future:
-        request_id = next(_request_ids)
-        future = Future(self.context.sim, timeout=self.context.site_timeout_ms)
-        self._pending[request_id] = future
-        node.send_app(gateway, self.name, "site_query", {
-            "request_id": request_id,
-            "query_id": query_id,
-            "k": query.k,
-            "where": [[p.pack() for p in conjunction] for conjunction in query.where],
-            "order_by": query.order_by,
-            "payload": payload,
-            "caller": caller,
-            "origin": node.address,
-        })
-        return future
+                         caller: Optional[str],
+                         retries_used: Optional[List[int]] = None) -> Future:
+        """Send a site_query to ``gateway``, retrying lost rounds.
+
+        Each attempt uses a fresh request id with its own per-attempt
+        timeout; a reply to a timed-out attempt hits the orphan path in
+        :meth:`host_message` and has its reservations released there.
+        """
+        sim = self.context.sim
+        done = Future(sim)
+        backoff = self.context.step_backoff()
+
+        def _attempt() -> None:
+            request_id = next(_request_ids)
+            attempt = Future(sim, timeout=self.context.site_timeout_ms)
+            self._pending[request_id] = attempt
+            node.send_app(gateway, self.name, "site_query", {
+                "request_id": request_id,
+                "query_id": query_id,
+                "k": query.k,
+                "where": [[p.pack() for p in conjunction] for conjunction in query.where],
+                "order_by": query.order_by,
+                "payload": payload,
+                "caller": caller,
+                "origin": node.address,
+            })
+
+            def _on_reply(value: Any) -> None:
+                if done.resolved:
+                    return
+                if not isinstance(value, FutureTimeout) and value is not None:
+                    done.try_resolve(value)
+                    return
+                # Orphan the attempt so a late reply is settled, not merged.
+                self._pending.pop(request_id, None)
+                backoff.record_failure()
+                if backoff.exhausted():
+                    done.try_resolve(FutureTimeout(
+                        f"site request to {gateway} failed after "
+                        f"{backoff.failures} attempts"))
+                    return
+                if retries_used is not None:
+                    retries_used[0] += 1
+                if self.counters is not None:
+                    self.counters.increment("query.retry.site")
+                sim.schedule(backoff.next_delay_ms(), _attempt)
+
+            attempt.add_callback(_on_reply)
+
+        _attempt()
+        return done
 
     # ------------------------------------------------------------------
     # Site executor (steps 1-5 inside one site)
@@ -304,6 +395,7 @@ class QueryApplication(Application):
             entries: Dict[int, Dict[str, Any]] = {}
             tree_sizes: Dict[str, int] = {}
             visited = 0
+            retries = 0
             for branch in results:
                 if isinstance(branch, FutureTimeout) or branch is None:
                     continue
@@ -311,8 +403,10 @@ class QueryApplication(Application):
                     entries.setdefault(entry["address"], entry)
                 tree_sizes.update(branch.get("tree_sizes", {}))
                 visited += branch.get("visited", 0)
+                retries += branch.get("retries", 0)
             done.try_resolve({"entries": list(entries.values()),
-                              "tree_sizes": tree_sizes, "visited": visited})
+                              "tree_sizes": tree_sizes, "visited": visited,
+                              "retries": retries})
 
         gather(sim, branches, timeout=self.context.site_timeout_ms).add_callback(_union)
         return done
@@ -349,20 +443,46 @@ class QueryApplication(Application):
                 size_of[topic] = cached_size
             else:
                 to_probe.append(topic)
-        probes = [
-            node.scribe.tree_size(node, topic, timeout=self.context.probe_timeout_ms,
-                                  scope=self.context.tree_scope)
-            for topic in to_probe
-        ]
+        probe_backoff = self.context.step_backoff()
 
-        def _after_probe(sizes: Any) -> None:
+        def _probe_round(topics_left: List[str]) -> None:
+            round_probes = [
+                node.scribe.tree_size(node, topic,
+                                      timeout=self.context.probe_timeout_ms,
+                                      scope=self.context.tree_scope)
+                for topic in topics_left
+            ]
+            gather(sim, round_probes,
+                   timeout=self.context.probe_timeout_ms).add_callback(
+                lambda sizes: _collect_probe(topics_left, sizes))
+
+        def _collect_probe(topics_left: List[str], sizes: Any) -> None:
             if isinstance(sizes, FutureTimeout):
-                sizes = [0] * len(to_probe)
-            for topic, size in zip(to_probe, sizes):
-                timed_out = isinstance(size, FutureTimeout)
-                size_of[topic] = 0 if timed_out else int(size or 0)
-                if ttl > 0 and not timed_out:
+                sizes = [FutureTimeout()] * len(topics_left)
+            missing: List[str] = []
+            for topic, size in zip(topics_left, sizes):
+                if isinstance(size, FutureTimeout):
+                    missing.append(topic)
+                    continue
+                size_of[topic] = int(size or 0)
+                if ttl > 0:
                     self.probe_cache.put(topic, size_of[topic], sim.now)
+            if missing:
+                probe_backoff.record_failure()
+                if not probe_backoff.exhausted():
+                    # Re-probe only the trees whose size is still unknown.
+                    if self.counters is not None:
+                        self.counters.increment("query.retry.probe")
+                    sim.schedule(probe_backoff.next_delay_ms(),
+                                 lambda: _probe_round(missing))
+                    return
+                # Retry budget spent: an unreachable tree counts as empty,
+                # so planning proceeds on what did answer.
+                for topic in missing:
+                    size_of[topic] = 0
+            _after_probe()
+
+        def _after_probe() -> None:
             # Step 3: pick the predicate whose tree family is smallest.
             totals = [sum(size_of[t] for t in group) for group in groups]
             best_index: Optional[int] = None
@@ -402,29 +522,53 @@ class QueryApplication(Application):
             }
             self._anycast_chain(node, topics, state, size_of, done)
 
-        if probes:
-            gather(sim, probes,
-                   timeout=self.context.probe_timeout_ms).add_callback(_after_probe)
+        if to_probe:
+            _probe_round(to_probe)
         else:
             # Every candidate tree answered from the probe cache: step 1
             # costs zero messages and zero round-trips.
-            sim.call_soon(_after_probe, [])
+            sim.call_soon(_after_probe)
         return done
 
     def _anycast_chain(self, node: "RBayNode", topics: List[str], state: Dict[str, Any],
-                       tree_sizes: Dict[str, int], done: Future) -> None:
-        """Step 4: anycast trees in ascending-size order until k filled."""
+                       tree_sizes: Dict[str, int], done: Future,
+                       backoff: Optional[TruncatedExponentialBackoff] = None) -> None:
+        """Step 4: anycast trees in ascending-size order until k filled.
+
+        A lost anycast (dropped message, crashed member mid-DFS) is retried
+        into the same tree after a backoff delay; re-visits are idempotent
+        because reservations are keyed by query id.  When the retry budget
+        for a tree is spent the chain moves on to the next-larger tree.
+        """
+        sim = self.context.sim
         if not topics or len(state["entries"]) >= state["k"]:
             done.try_resolve({"entries": state["entries"], "tree_sizes": tree_sizes,
-                              "visited": state.get("visited_total", 0)})
+                              "visited": state.get("visited_total", 0),
+                              "retries": state.get("retries", 0)})
             return
         topic, rest = topics[0], topics[1:]
+        if backoff is None:
+            backoff = self.context.step_backoff()
 
         def _next(result: Any) -> None:
-            if not isinstance(result, FutureTimeout) and result is not None:
-                state["entries"] = result.get("entries", state["entries"])
-                state["visited_total"] = (state.get("visited_total", 0)
-                                          + result.get("visited_members", 0))
+            if isinstance(result, FutureTimeout) or result is None:
+                backoff.record_failure()
+                if not backoff.exhausted():
+                    state["retries"] = state.get("retries", 0) + 1
+                    if self.counters is not None:
+                        self.counters.increment("query.retry.anycast")
+                    sim.schedule(
+                        backoff.next_delay_ms(),
+                        lambda: self._anycast_chain(node, topics, state,
+                                                    tree_sizes, done, backoff))
+                    return
+                # Budget spent on this tree: fall through to the next one
+                # (fresh budget — failures are per-tree, not per-chain).
+                self._anycast_chain(node, rest, state, tree_sizes, done)
+                return
+            state["entries"] = result.get("entries", state["entries"])
+            state["visited_total"] = (state.get("visited_total", 0)
+                                      + result.get("visited_members", 0))
             self._anycast_chain(node, rest, state, tree_sizes, done)
 
         node.scribe.anycast(node, topic, state,
@@ -479,20 +623,34 @@ class QueryApplication(Application):
                     site_result = {"entries": [], "tree_sizes": {}, "visited": 0}
                 node.send_app(data["origin"], self.name, "site_result", {
                     "request_id": data["request_id"],
+                    "query_id": data["query_id"],
                     "entries": site_result["entries"],
                     "tree_sizes": site_result["tree_sizes"],
                     "visited": site_result.get("visited", 0),
+                    "retries": site_result.get("retries", 0),
                 })
 
             future.add_callback(_reply)
         elif kind == "site_result":
             future = self._pending.pop(data["request_id"], None)
-            if future is not None:
-                future.try_resolve({
-                    "entries": data["entries"],
-                    "tree_sizes": data["tree_sizes"],
-                    "visited": data.get("visited", 0),
-                })
+            accepted = future is not None and future.try_resolve({
+                "entries": data["entries"],
+                "tree_sizes": data["tree_sizes"],
+                "visited": data.get("visited", 0),
+                "retries": data.get("retries", 0),
+            })
+            if not accepted:
+                # Late or duplicate reply: the coordinator already gave up
+                # on this attempt (or the whole query).  Its reservations
+                # must not dangle until the hold window lapses — release
+                # each one explicitly.
+                query_id = data.get("query_id")
+                if query_id is not None:
+                    for entry in data["entries"]:
+                        node.send_app(entry["address"], self.name, "release",
+                                      {"query_id": query_id})
+                    if self.counters is not None and data["entries"]:
+                        self.counters.increment("query.orphan_release")
         elif kind == "commit":
             node.reservation.commit(data["query_id"], data["lease_ms"])
         elif kind == "release":

@@ -38,7 +38,7 @@ class TopicState:
     """Per-topic tree state held by one node."""
 
     __slots__ = (
-        "topic", "key", "scope", "parent", "is_root", "member",
+        "topic", "key", "scope", "parent", "former_parent", "is_root", "member",
         "children", "local", "child_acc", "last_pushed",
         "dirty", "flush_event",
     )
@@ -48,6 +48,11 @@ class TopicState:
         self.key = key
         self.scope = scope
         self.parent: Optional[int] = None
+        #: A parent we detached from without saying goodbye (it was dead at
+        #: the time).  Once it is reachable again we owe it a "leave" so it
+        #: drops our stale accumulator — otherwise a recovered parent would
+        #: double-count us against our new tree path.
+        self.former_parent: Optional[int] = None
         self.is_root = False
         self.member = False
         self.children: Dict[int, NodeRef] = {}
@@ -338,12 +343,38 @@ class ScribeApplication(Application):
         for state in list(self._topics.values()):
             for address in [a for a in state.children if not node.network.has_host(a)]:
                 self._drop_child(node, state, address)
+            for address in list(state.children):
+                # Child-link anti-entropy: a child that re-homed while we
+                # were unreachable answers with "leave", evicting its stale
+                # accumulator here.  Repeating every tick makes the check
+                # robust to message loss (a lost probe retries next tick).
+                node.send_app(address, self.name, "child_probe",
+                              {"topic": state.topic})
             if state.parent is not None and not node.network.has_host(state.parent):
+                # Goodbye deferred until the parent is reachable again (a
+                # crash-recovered parent keeps our accumulator otherwise).
+                state.former_parent = state.parent
                 state.parent = None
+            if state.former_parent is not None:
+                if state.former_parent == state.parent:
+                    state.former_parent = None
+                elif node.network.has_host(state.former_parent):
+                    node.send_app(state.former_parent, self.name, "leave",
+                                  {"topic": state.topic})
+                    state.former_parent = None
             if (state.parent is None and not state.is_root
                     and (state.member or state.children)):
                 # Detached: the parent died, or the original JOIN/parent_set
                 # message was lost.  Re-route a JOIN toward the rendezvous.
+                node.route(state.key, self.name, {"op": "join", "topic": state.topic,
+                                                  "scope": state.scope,
+                                                  "child": self._packed_self(node)},
+                           scope=state.scope)
+            if state.is_root and (state.member or state.children):
+                # Root re-anchor: while this node is the true rendezvous the
+                # join delivers locally (a no-op); after a crash-recovery
+                # race left a second root in the tree, the join routes to
+                # the rendezvous, which adopts us and demotes us to child.
                 node.route(state.key, self.name, {"op": "join", "topic": state.topic,
                                                   "scope": state.scope,
                                                   "child": self._packed_self(node)},
@@ -443,6 +474,14 @@ class ScribeApplication(Application):
             if state is not None:
                 self._drop_child(node, state, msg.payload["origin"])
                 self._maybe_prune(node, state)
+        elif kind == "child_probe":
+            # A node that lists us as its child asks for confirmation.  If
+            # it is not our current parent (we re-homed while it was down),
+            # tell it to drop us — its copy of our accumulator is stale.
+            state = self._topics.get(data["topic"])
+            origin = msg.payload["origin"]
+            if state is None or state.parent != origin:
+                node.send_app(origin, self.name, "leave", {"topic": data["topic"]})
 
     # ------------------------------------------------------------------
     # Join / tree plumbing
@@ -487,6 +526,16 @@ class ScribeApplication(Application):
         state = self.topic_state(topic)
         if parent_addr == node.address:
             return
+        if state.parent is not None and state.parent != parent_addr:
+            # Reparented: the old parent must drop our accumulator or it
+            # will double-count this subtree against the new path.
+            if node.network.has_host(state.parent):
+                node.send_app(state.parent, self.name, "leave",
+                              {"topic": topic})
+            else:
+                state.former_parent = state.parent
+        if state.former_parent == parent_addr:
+            state.former_parent = None
         state.parent = parent_addr
         state.is_root = False
         self._repush_all(node, state)
@@ -681,6 +730,7 @@ class ScribeApplication(Application):
             if node.network.has_host(state.parent):
                 node.send_app(state.parent, self.name, "agg_push", {
                     "topic": state.topic, "agg": agg_name, "acc": acc,
+                    "child": self._packed_self(node),
                 })
 
     def _repush_all(self, node: PastryNode, state: TopicState) -> None:
@@ -693,6 +743,13 @@ class ScribeApplication(Application):
         acc = data["acc"]
         if isinstance(acc, list):
             acc = tuple(acc)  # tuples survive payload round-trips as lists
+        if child_addr not in state.children and "child" in data:
+            # A pusher we do not list as a child: it kept its parent pointer
+            # across our crash-recovery (or we pruned it while it was down).
+            # Re-adopt it so pruning and child probes see it again.
+            child_id, _, child_site = data["child"]
+            self._add_child(node, state,
+                            NodeRef(NodeId(child_id), child_addr, child_site))
         state.child_acc.setdefault(agg_name, {})[child_addr] = acc
         self._recompute_and_push(node, state, only=agg_name)
         self._notify_tree_change(state.topic)

@@ -61,6 +61,15 @@ class Simulator:
         self._seq = itertools.count()
         self._events_executed = 0
         self._running = False
+        self._step_hook: Optional[Callable[[float, int], None]] = None
+
+    def set_step_hook(self, hook: Optional[Callable[[float, int], None]]) -> None:
+        """Install an observer called with ``(time, seq)`` before each event
+        executes.  The (time, seq) stream is a total order over everything
+        the simulation does, so recording (or hashing) it gives a
+        byte-comparable trace for determinism checks — e.g. that identical
+        fault-schedule seeds replay identically.  ``None`` uninstalls."""
+        self._step_hook = hook
 
     # ------------------------------------------------------------------
     # Clock
@@ -127,6 +136,8 @@ class Simulator:
                 raise SimulationError("event heap corrupted: time moved backwards")
             self._now = event.time
             self._events_executed += 1
+            if self._step_hook is not None:
+                self._step_hook(event.time, event.seq)
             event.callback(*event.args)
             return True
         return False
@@ -161,6 +172,8 @@ class Simulator:
                 self._now = event.time
                 self._events_executed += 1
                 executed += 1
+                if self._step_hook is not None:
+                    self._step_hook(event.time, event.seq)
                 event.callback(*event.args)
             if until is not None:
                 self._now = max(self._now, until)
@@ -239,3 +252,13 @@ class PeriodicTask:
     @property
     def stopped(self) -> bool:
         return self._stopped
+
+    @property
+    def interval(self) -> float:
+        """The base firing interval (ms) — lets a fault injector restart a
+        crashed node's maintenance with its original cadence."""
+        return self._interval
+
+    @property
+    def jitter_fn(self) -> Optional[Callable[[], float]]:
+        return self._jitter_fn

@@ -27,21 +27,31 @@ class FutureError(RuntimeError):
 class Future:
     """A single-assignment result slot resolved from within the event loop."""
 
-    __slots__ = ("_sim", "_callbacks", "_resolved", "_value", "_timeout_event")
+    __slots__ = ("_sim", "_callbacks", "_resolved", "_value", "_timeout_event",
+                 "_timeout_value")
 
-    def __init__(self, sim: Simulator, timeout: Optional[float] = None):
+    def __init__(self, sim: Simulator, timeout: Optional[float] = None,
+                 timeout_value: Optional[Callable[[], Any]] = None):
         self._sim = sim
         self._callbacks: List[Callable[[Any], None]] = []
         self._resolved = False
         self._value: Any = None
         self._timeout_event = None
+        #: Factory for the value delivered on timeout; None means a plain
+        #: FutureTimeout.  Protocol layers use it to surface *typed* errors
+        #: (e.g. QueryTimeout) instead of the raw simulator exception.
+        self._timeout_value = timeout_value
         if timeout is not None:
             self._timeout_event = sim.schedule(timeout, self._on_timeout)
 
     # ------------------------------------------------------------------
     def _on_timeout(self) -> None:
         if not self._resolved:
-            self.resolve(FutureTimeout(f"future timed out at t={self._sim.now:.3f}ms"))
+            if self._timeout_value is not None:
+                self.resolve(self._timeout_value())
+            else:
+                self.resolve(FutureTimeout(
+                    f"future timed out at t={self._sim.now:.3f}ms"))
 
     def resolve(self, value: Any = None) -> None:
         """Set the result and invoke callbacks (immediately, in order)."""
@@ -87,12 +97,14 @@ class Future:
         """Drive the simulator until this future resolves, then return the value.
 
         Convenience for tests and examples operating at the top level of the
-        event loop.  Raises :class:`FutureTimeout` if the future timed out.
+        event loop.  Raises :class:`FutureTimeout` if the future timed out,
+        and re-raises any other exception the future was resolved with (the
+        typed-error channel protocol layers use under injected faults).
         """
         self._sim.run_until(lambda: self._resolved)
         if not self._resolved:
             raise FutureError("simulation drained without resolving future")
-        if isinstance(self._value, FutureTimeout):
+        if isinstance(self._value, BaseException):
             raise self._value
         return self._value
 

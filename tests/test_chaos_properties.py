@@ -1,0 +1,180 @@
+"""Chaos property suite: plane-wide invariants under injected faults.
+
+Each scenario builds a small federation, runs a randomized (but seeded,
+fully reproducible) fault schedule — crashes with recovery, a partition,
+ambient message loss — while customers keep querying, then quiesces and
+asserts the invariants the failure model promises:
+
+* every query completes with a :class:`QueryResult` or a typed
+  :class:`QueryError` — never a raw ``FutureTimeout``;
+* no reservation outlives its query: every committed lease belongs to a
+  query whose caller saw a satisfied result;
+* after faults heal and maintenance quiesces, tree aggregates equal
+  ground truth (the trees reconverge);
+* the network conservation identity ``sent == delivered + dropped``
+  holds once traffic drains;
+* identical seeds reproduce the run byte-for-byte.
+
+Seed count comes from ``RBAY_CHAOS_SEEDS`` (default 20); the coverage
+gate sets it low to keep the tracer fast.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.plane import RBay, RBayConfig
+from repro.faults import FaultSchedule
+from repro.query.errors import QueryError
+from repro.query.executor import QueryResult
+from repro.sim.futures import FutureTimeout
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+
+SEED_COUNT = int(os.environ.get("RBAY_CHAOS_SEEDS", "20"))
+SEEDS = list(range(100, 100 + SEED_COUNT))
+
+CHAOS_MS = 6_000.0
+QUIESCE_MS = 4_000.0
+
+
+def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
+              queries=6):
+    """One chaos scenario; returns everything the invariants inspect."""
+    plane = RBay(RBayConfig(
+        seed=seed,
+        synthetic_sites=4,
+        nodes_per_site=5,
+        jitter=False,
+        maintenance_interval_ms=500.0,
+        reservation_hold_ms=1_000.0,
+    )).build()
+    workload = FederationWorkload(plane, WorkloadSpec(
+        gate_policies=False, utilization_thresholds=())).apply()
+    plane.sim.run()
+    plane.settle(1_000.0)
+    # Tight protocol timeouts keep the simulated runs short.
+    plane.context.site_timeout_ms = 1_500.0
+    plane.context.probe_timeout_ms = 750.0
+    plane.start_maintenance()
+
+    schedule = FaultSchedule.randomized(
+        random.Random(seed * 7 + 1),
+        duration_ms=CHAOS_MS,
+        node_count=len(plane.nodes),
+        crash_fraction=crash_fraction,
+        mean_downtime_ms=1_500.0,
+        site_names=[s.name for s in plane.registry],
+        partitions=partitions,
+        mean_partition_ms=2_000.0,
+        drop_prob=drop_prob,
+    ).shifted(plane.sim.now)
+    injector = plane.install_faults(schedule)
+
+    # Customers keep querying while the faults play out.
+    rng = random.Random(seed * 13 + 5)
+    site_names = [s.name for s in plane.registry]
+    futures = []
+    for i in range(queries):
+        site = rng.choice(site_names)
+        counts = workload.site_instance_population(site)
+        populated = sorted(t for t, n in counts.items() if n > 0)
+        itype = rng.choice(populated)
+        customer = plane.make_customer(f"chaos-{seed}-{i}", site)
+        sql = f"SELECT 1 FROM {site} WHERE instance_type = '{itype}';"
+        at = plane.sim.now + rng.uniform(0.1, 0.9) * CHAOS_MS
+
+        def fire(customer=customer, sql=sql):
+            futures.append(customer.query_once(sql, timeout=8_000.0))
+
+        plane.sim.schedule_at(at, fire)
+
+    plane.run(until=plane.sim.now + CHAOS_MS + QUIESCE_MS)
+    plane.stop_maintenance()
+    plane.sim.run()  # drain every in-flight message and timer
+    return plane, workload, injector, futures
+
+
+def popular_type(workload, site):
+    counts = workload.site_instance_population(site)
+    return max(counts, key=counts.get)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_invariants(seed):
+    plane, workload, injector, futures = run_chaos(seed)
+
+    # The schedule healed itself: every crashed node is back.
+    assert injector.live_indices == list(range(len(plane.nodes)))
+    assert not injector.partitions
+
+    # 1. Every query completed cleanly (typed result, never FutureTimeout).
+    assert futures, "no queries fired"
+    satisfied_ids = set()
+    for future in futures:
+        assert future.resolved
+        value = future.value
+        assert not isinstance(value, FutureTimeout)
+        assert isinstance(value, (QueryResult, QueryError))
+        if isinstance(value, QueryResult):
+            if value.degraded:
+                assert value.failed_sites
+            if value.satisfied:
+                satisfied_ids.add(value.query_id)
+
+    # 2. No leaked reservations: a committed lease must belong to a query
+    # whose caller actually got a satisfied answer; uncommitted holds must
+    # all have lapsed during quiesce.
+    for node in plane.nodes:
+        table = node.reservation
+        holder = table.holder()
+        if holder is None:
+            continue
+        assert table.committed, (
+            f"node {node.address} still holds uncommitted query {holder}")
+        assert holder in satisfied_ids, (
+            f"node {node.address} leased to unsatisfied query {holder}")
+
+    # 3. Network conservation after drain.
+    net = plane.network
+    assert net.messages_in_flight == 0
+    assert net.messages_sent == net.messages_delivered + net.messages_dropped
+
+    # 4. Aggregates reconverged to ground truth at every site.
+    from repro.core.naming import instance_tree
+
+    for site in [s.name for s in plane.registry]:
+        itype = popular_type(workload, site)
+        expected = workload.site_instance_population(site)[itype]
+        via = plane.site_nodes(site)[0]
+        got = plane.tree_size(instance_tree(site, itype), via=via, scope="site")
+        assert got == expected, (
+            f"{site}/{itype}: tree says {got}, ground truth {expected}")
+
+
+def test_chaos_run_is_deterministic():
+    """Same seed, same schedule: byte-identical trace and counters."""
+    def fingerprint(seed):
+        plane, _, injector, futures = run_chaos(seed)
+        # Query ids come from a process-global counter, so fingerprints
+        # compare per-query outcomes positionally instead.
+        outcomes = [
+            (f.value.satisfied, f.value.degraded, f.value.retries,
+             sorted(f.value.tree_sizes.items()))
+            if isinstance(f.value, QueryResult) else repr(f.value)
+            for f in futures
+        ]
+        return (injector.trace_text(), plane.counters.snapshot(),
+                plane.network.messages_sent, outcomes)
+
+    assert fingerprint(SEEDS[0]) == fingerprint(SEEDS[0])
+
+
+def test_retries_spent_under_loss_are_counted():
+    """Ambient loss must exercise the retry paths, not just timeouts."""
+    plane, _, _, futures = run_chaos(SEEDS[0], drop_prob=0.25)
+    retried = plane.counters.get("query.retry.site") \
+        + plane.counters.get("query.retry.probe") \
+        + plane.counters.get("query.retry.anycast")
+    assert retried > 0
+    assert all(f.resolved for f in futures)

@@ -101,3 +101,74 @@ def test_expired_reservation_cannot_commit(sim, table):
     sim.schedule(150.0, lambda: None)
     sim.run()
     assert not table.commit(1, lease_ms=100.0)
+
+
+def test_active_lease_blocks_competing_reservation(sim, table):
+    table.try_reserve(1)
+    table.commit(1, lease_ms=1_000.0)
+    sim.schedule(500.0, lambda: None)
+    sim.run()
+    # The hold window (100 ms) is long gone, but the lease still guards.
+    assert not table.try_reserve(2)
+    assert table.holder() == 1
+
+
+def test_lease_expiry_frees_node_for_next_query(sim, table):
+    table.try_reserve(1)
+    table.commit(1, lease_ms=200.0)
+    sim.schedule(250.0, lambda: None)
+    sim.run()
+    assert table.try_reserve(2)
+    assert table.holder() == 2
+    assert not table.committed
+
+
+def test_release_after_hold_lapse_returns_false(sim, table):
+    """A late release (e.g. from a retransmitted release message) is a no-op."""
+    table.try_reserve(1)
+    sim.schedule(150.0, lambda: None)
+    sim.run()
+    assert not table.release(1)
+    assert table.is_free()
+
+
+def test_commit_after_explicit_release_rejected(table):
+    table.try_reserve(1)
+    table.release(1)
+    assert not table.commit(1, lease_ms=100.0)
+    assert table.is_free()
+
+
+def test_recommit_extends_lease(sim, table):
+    """The holder may re-commit to push the lease end out (renewal)."""
+    table.try_reserve(1)
+    table.commit(1, lease_ms=200.0)
+    sim.schedule(150.0, table.commit, 1, 200.0)
+    sim.run()
+    # 250 ms in: the original lease would have lapsed, the renewal holds.
+    sim.schedule(100.0, lambda: None)
+    sim.run()
+    assert table.holder() == 1
+    assert table.committed
+
+
+def test_rereserve_downgrades_lease_to_hold(sim, table):
+    """try_reserve by the lease holder restarts the protocol: the lease
+    becomes a plain timed hold again (step 4 re-entered)."""
+    table.try_reserve(1)
+    table.commit(1, lease_ms=10_000.0)
+    assert table.try_reserve(1)
+    assert not table.committed
+    sim.schedule(150.0, lambda: None)
+    sim.run()
+    assert table.is_free()  # expired on the hold clock, not the lease clock
+
+
+def test_committed_false_after_lease_lapse_without_access(sim, table):
+    """The ``committed`` property itself triggers lazy GC."""
+    table.try_reserve(1)
+    table.commit(1, lease_ms=100.0)
+    sim.schedule(200.0, lambda: None)
+    sim.run()
+    assert not table.committed
+    assert table.holder() is None

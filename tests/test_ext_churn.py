@@ -50,6 +50,19 @@ class TestHistory:
         assert history.lease_completions == 1
         assert history.lease_failures == 1
 
+    def test_recovery_refreshes_last_up(self, sim, tracker):
+        """Coming back up must stamp ``last_up`` with the recovery time —
+        stability scoring reads it as 'seen alive this recently'."""
+        tracker.mark_up(1)
+        sim.schedule(400.0, tracker.mark_down, 1)
+        sim.schedule(900.0, tracker.mark_up, 1)
+        sim.schedule(2_000.0, lambda: None)
+        sim.run()
+        history = tracker.history(1)
+        assert history.is_up()
+        assert history.last_up == 900.0
+        assert history.flaps == 1
+
     def test_observe_population(self, sim, tracker):
         class FakeNode:
             def __init__(self, address, alive):

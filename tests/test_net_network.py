@@ -6,7 +6,7 @@ import pytest
 
 from repro.net.latency import UniformLatencyModel, make_ec2_registry
 from repro.net.message import Message
-from repro.net.network import Host, Network, NetworkError
+from repro.net.network import FaultDecision, Host, Network, NetworkError
 
 
 class Recorder(Host):
@@ -141,6 +141,148 @@ def test_send_requires_attachment(registry):
 
 def test_host_count(net, hosts):
     assert net.host_count == 2
+
+
+class TestConservation:
+    """sent == delivered + dropped + in_flight, at every instant."""
+
+    def assert_conserved(self, net):
+        assert net.messages_sent == (net.messages_delivered
+                                     + net.messages_dropped
+                                     + net.messages_in_flight)
+
+    def test_in_flight_gauge_tracks_pending_deliveries(self, sim, net, hosts):
+        a, b = hosts
+        for _ in range(4):
+            a.send(b.address, Message(kind="ping"))
+        assert net.messages_in_flight == 4
+        self.assert_conserved(net)
+        sim.run()
+        assert net.messages_in_flight == 0
+        assert net.messages_delivered == 4
+        self.assert_conserved(net)
+
+    def test_in_flight_to_crashed_host_counts_as_dropped(self, sim, net, hosts):
+        a, b = hosts
+        a.send(b.address, Message(kind="ping"))
+        net.detach(b)  # crashes while the packet is on the wire
+        sim.run()
+        assert net.messages_dropped == 1
+        assert net.messages_delivered == 0
+        self.assert_conserved(net)
+
+    def test_reset_counters_preserves_in_flight(self, sim, net, hosts):
+        a, b = hosts
+        a.send(b.address, Message(kind="ping"))
+        net.reset_counters()
+        # The pending packet is still owed a delivery; the identity must
+        # hold again once it lands.
+        assert net.messages_sent == 1 and net.messages_in_flight == 1
+        sim.run()
+        assert net.messages_delivered == 1
+        self.assert_conserved(net)
+
+
+class TestReattach:
+    def test_reattach_restores_old_address(self, sim, net, hosts):
+        a, b = hosts
+        address = b.address
+        net.detach(b)
+        net.reattach(b)
+        assert b.address == address
+        assert b.alive and net.host(address) is b
+        a.send(address, Message(kind="ping"))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_reattach_never_attached_rejected(self, net, registry):
+        with pytest.raises(NetworkError):
+            net.reattach(Recorder(registry[0]))
+
+    def test_reattach_occupied_address_rejected(self, net, hosts, registry):
+        _, b = hosts
+        net.detach(b)
+        usurper = Recorder(registry[0])
+        usurper.address = b.address
+        net._hosts[b.address] = usurper
+        with pytest.raises(NetworkError):
+            net.reattach(b)
+
+    def test_reattach_is_idempotent(self, net, hosts):
+        _, b = hosts
+        net.detach(b)
+        net.reattach(b)
+        net.reattach(b)  # occupant is the host itself: fine
+        assert b.alive
+
+
+class TestSuppression:
+    """Crashed senders emit nothing — suppressed outside the conservation sum."""
+
+    def test_detached_sender_is_suppressed(self, sim, net, hosts):
+        a, b = hosts
+        net.detach(a)
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        assert net.messages_suppressed == 1
+        assert net.messages_sent == 0 and net.messages_dropped == 0
+        assert b.received == []
+
+    def test_dead_flag_alone_suppresses(self, sim, net, hosts):
+        a, b = hosts
+        a.alive = False
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        assert net.messages_suppressed == 1
+        assert b.received == []
+
+    def test_recovered_sender_sends_again(self, sim, net, hosts):
+        a, b = hosts
+        net.detach(a)
+        net.reattach(a)
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        assert net.messages_suppressed == 0
+        assert len(b.received) == 1
+
+
+class TestFaultFilter:
+    def test_drop_decision_counts_dropped(self, sim, net, hosts):
+        a, b = hosts
+        net.fault_filter = lambda src, dst, msg: FaultDecision(drop=True)
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        assert b.received == []
+        assert net.messages_sent == 1 and net.messages_dropped == 1
+        assert net.messages_in_flight == 0
+
+    def test_duplicates_are_extra_sent_packets(self, sim, net, hosts):
+        a, b = hosts
+        net.fault_filter = lambda src, dst, msg: FaultDecision(duplicates=2)
+        a.send(b.address, Message(kind="ping", payload={"x": 1}))
+        sim.run()
+        assert len(b.received) == 3
+        # Each copy is a wire packet: counted in sent, bytes, and per-host.
+        assert net.messages_sent == 3
+        assert net.messages_delivered == 3
+        assert net.per_host_sent[a.address] == 3
+        assert net.messages_sent == net.messages_delivered + net.messages_dropped
+
+    def test_extra_delay_shifts_delivery(self, sim, net, hosts):
+        a, b = hosts
+        net.fault_filter = lambda src, dst, msg: FaultDecision(extra_delay_ms=40.0)
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        _, at = b.received[0]
+        assert at == pytest.approx(41.5)  # 1.5 model latency + 40 injected
+
+    def test_none_decision_delivers_normally(self, sim, net, hosts):
+        a, b = hosts
+        net.fault_filter = lambda src, dst, msg: None
+        a.send(b.address, Message(kind="ping"))
+        sim.run()
+        assert len(b.received) == 1
+        assert net.messages_dropped == 0
 
 
 class TestMessage:

@@ -111,3 +111,11 @@ class TestBackoff:
         backoff.record_failure()
         delays = {backoff.next_delay_ms() for _ in range(100)}
         assert delays <= {0.0, 10.0}
+
+    def test_zero_failures_means_zero_delay(self):
+        """The first attempt must not pay a backoff tax."""
+        backoff = TruncatedExponentialBackoff(random.Random(3), slot_ms=50.0)
+        assert all(backoff.next_delay_ms() == 0.0 for _ in range(50))
+        backoff.record_failure()
+        backoff.reset()
+        assert backoff.next_delay_ms() == 0.0

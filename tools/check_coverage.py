@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Minimum line-coverage gate for the caching subsystem, stdlib-only.
+"""Minimum line-coverage gate for the caching and fault subsystems, stdlib-only.
 
 The container has no ``coverage``/``pytest-cov``, so this script measures
 line coverage itself with :func:`sys.settrace`: it runs the cache-focused
@@ -30,6 +30,9 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "scribe" / "cache.py",
     REPO / "src" / "repro" / "metrics" / "counters.py",
+    REPO / "src" / "repro" / "faults" / "schedule.py",
+    REPO / "src" / "repro" / "faults" / "injector.py",
+    REPO / "src" / "repro" / "query" / "backoff.py",
 ]
 
 #: Test files that exercise them.
@@ -37,6 +40,9 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_scribe_cache_coherence.py",
     REPO / "tests" / "test_query_probe_cache.py",
     REPO / "tests" / "test_metrics.py",
+    REPO / "tests" / "test_faults_injector.py",
+    REPO / "tests" / "test_chaos_properties.py",
+    REPO / "tests" / "test_query_predicates_backoff.py",
 ]
 
 
@@ -121,9 +127,10 @@ def main(argv=None) -> int:
     src = str(REPO / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
-    # Tracing makes the property test ~10x slower; a reduced interleaving
-    # count still touches every cache code path.
+    # Tracing makes the property tests ~10x slower; reduced interleaving /
+    # seed counts still touch every watched code path.
     os.environ.setdefault("RBAY_COHERENCE_CHECKS", "25")
+    os.environ.setdefault("RBAY_CHAOS_SEEDS", "3")
 
     executable = {str(t.resolve()): executable_lines(t) for t in args.targets}
     hits: Dict[str, Set[int]] = {name: set() for name in executable}
