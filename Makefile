@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos coverage examples outputs clean
+.PHONY: install test bench chaos coverage trace examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,19 @@ coverage:
 	  || echo "pytest-cov not installed; running the stdlib coverage gate only"
 	$(PYTHON) tools/check_coverage.py
 
+# Observability plane: the span/metric/critical-path test suite, the
+# tracing-overhead ablation, and a demo trace of one multi-site query
+# (Chrome trace_event export lands in trace_demo.json; open in Perfetto).
+trace:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_obs_spans.py \
+	  tests/test_obs_metrics.py tests/test_obs_critical_path.py \
+	  tests/test_obs_exporters.py
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_obs_overhead.py \
+	  --benchmark-only -s
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace \
+	  "SELECT 2 FROM * WHERE instance_type = 'c3.large';" \
+	  --nodes 8 --no-jitter --trace-out trace_demo.json
+
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
@@ -40,4 +53,5 @@ outputs:
 
 clean:
 	rm -rf .pytest_cache .hypothesis build dist src/repro.egg-info
+	rm -f trace_demo.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,6 +6,7 @@ Usage (installed as the ``rbay`` console script, or ``python -m repro.cli``):
     rbay query "SELECT 3 FROM * WHERE instance_type = 'c3.large';"
     rbay explain "SELECT 5 FROM Virginia, Tokyo WHERE GPU = true GROUPBY vcpu DESC;"
     rbay latency --origins Virginia Singapore --queries 20
+    rbay trace "SELECT 3 FROM * WHERE instance_type = 'c3.large';"
     rbay lua "return ('rbay'):upper()"
 
 The CLI always builds a workload-dressed simulated federation (the paper's
@@ -37,6 +38,8 @@ def _load_fault_schedule(args):
 
 
 def _build_plane(args) -> tuple:
+    tracing = bool(getattr(args, "trace_out", None)) or bool(
+        getattr(args, "force_tracing", False))
     config = RBayConfig(
         seed=args.seed,
         nodes_per_site=args.nodes,
@@ -46,11 +49,28 @@ def _build_plane(args) -> tuple:
         probe_cache_ms=args.probe_cache_ms,
         site_retries=getattr(args, "site_retries", 2),
         fault_schedule=_load_fault_schedule(args),
+        tracing=tracing,
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
     plane.sim.run()
     return plane, workload
+
+
+def _finish_tracing(plane, args) -> None:
+    """Shared tracing epilogue: per-step histogram + Chrome-trace export."""
+    if not plane.obs.enabled:
+        return
+    print()
+    print("per-step latency (critical-path spans):")
+    print(plane.obs.step_summary())
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(trace_out, plane.obs.recorder.spans())
+        print(f"\nwrote Chrome trace_event export to {trace_out} "
+              f"({len(plane.obs.recorder)} spans; open in Perfetto)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -73,6 +93,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--site-retries", type=int, default=2,
                         help="per-step retry budget for lost query-protocol "
                              "rounds (0 disables retries)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="enable span tracing and write a Chrome "
+                             "trace_event export to PATH (view in Perfetto)")
 
 
 def cmd_describe(args) -> int:
@@ -111,6 +134,7 @@ def cmd_query(args) -> int:
     if args.show_counters:
         print()
         print(plane.counters.format())
+    _finish_tracing(plane, args)
     return 0 if result.satisfied else 1
 
 
@@ -148,7 +172,45 @@ def cmd_latency(args) -> int:
             row.append(f"{mean(samples):5.0f}±{stddev(samples):3.0f}")
         rows.append(row)
     print(format_table(["location", *(f"{o} (ms)" for o in origins)], rows))
+    if args.show_counters:
+        print()
+        print(plane.counters.format())
+    _finish_tracing(plane, args)
     return 0
+
+
+def cmd_trace(args) -> int:
+    """Trace one query end-to-end and print its critical-path breakdown."""
+    from repro.obs import critical_path, format_breakdown, format_path, write_json
+
+    args.force_tracing = True
+    plane, _ = _build_plane(args)
+    customer = plane.make_customer("cli", args.origin)
+    result = customer.query_once(args.sql,
+                                 payload={"password": args.password}).result()
+    roots = plane.obs.query_roots()
+    if not roots:
+        print("no query spans were recorded", file=sys.stderr)
+        return 2
+    # The customer may retry a short query; the last root is the attempt
+    # that produced the printed result.
+    root = roots[-1]
+    spans = plane.obs.recorder.trace(root.trace_id)
+    segments = critical_path(root, spans)
+    print(f"query {root.labels.get('query_id')}: latency {result.latency_ms:.1f} ms  "
+          f"satisfied: {result.satisfied}  retries: {result.retries}  "
+          f"spans in trace: {len(spans)}")
+    print()
+    print("critical path (chronological):")
+    print(format_path(segments))
+    print()
+    print("latency attribution by protocol step:")
+    print(format_breakdown(segments))
+    _finish_tracing(plane, args)
+    if args.json_out:
+        write_json(args.json_out, plane.obs.recorder.spans())
+        print(f"wrote JSON span export to {args.json_out}")
+    return 0 if result.satisfied else 1
 
 
 def cmd_lua(args) -> int:
@@ -205,7 +267,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--origins", nargs="*", default=None,
                    help="origin sites (default: first three)")
     p.add_argument("--queries", type=int, default=10, help="queries per point")
+    p.add_argument("--show-counters", action="store_true",
+                   help="print cache/protocol counters after the sweep")
     p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("trace",
+                       help="trace one query and print its critical-path "
+                            "latency breakdown")
+    _add_common(p)
+    p.add_argument("sql", help="the query text")
+    p.add_argument("--origin", default="Virginia", help="customer's home site")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="also write the raw JSON span export to PATH")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("lua", help="run a Luette chunk in the AA sandbox")
     p.add_argument("source", help="chunk text, or '-' to read stdin")

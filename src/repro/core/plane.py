@@ -29,6 +29,7 @@ from repro.net.latency import (
 )
 from repro.net.network import Network
 from repro.net.site import Site, SiteRegistry
+from repro.obs import Observability
 from repro.pastry.leafset import DEFAULT_LEAF_SET_SIZE
 from repro.pastry.nodeid import NodeId
 from repro.pastry.overlay import Overlay
@@ -84,6 +85,14 @@ class RBayConfig:
     #: Optional :class:`repro.faults.FaultSchedule` installed at build
     #: time; the injector is reachable as ``plane.fault_injector``.
     fault_schedule: Optional[Any] = None
+    #: Enable the causal observability plane: span tracing through every
+    #: protocol hot path plus the per-step latency histograms.  Off by
+    #: default — the disabled emit path is a single branch and allocates
+    #: nothing, so simulated behaviour is identical either way.
+    tracing: bool = False
+    #: Span-store bound when tracing is on (oldest runs keep everything;
+    #: past the bound new spans are counted in ``recorder.dropped``).
+    trace_max_spans: int = 200_000
 
 
 class RBay:
@@ -106,6 +115,14 @@ class RBay:
         self.hierarchy = AttributeHierarchy()
         #: Federation-wide cache/protocol counters (hit/miss/invalidation).
         self.counters = CounterRegistry()
+        #: The causal observability plane: span recorder + labeled metrics
+        #: (mirroring into ``self.counters``).  Null recorder when
+        #: ``cfg.tracing`` is off.
+        self.obs = Observability(self.sim, counters=self.counters,
+                                 enabled=cfg.tracing,
+                                 max_spans=cfg.trace_max_spans)
+        if self.obs.enabled:
+            self.network.recorder = self.obs.recorder
         self.context = QueryContext(
             self.sim,
             [site.name for site in self.registry],
@@ -212,6 +229,7 @@ class RBay:
                 rng=self.streams.stream("faults"),
                 counters=self.counters,
                 churn=self.churn,
+                recorder=self.obs.recorder if self.obs.enabled else None,
             )
             self.fault_injector.install(schedule)
         elif schedule is not None:
@@ -219,10 +237,15 @@ class RBay:
         return self.fault_injector
 
     def _wire_node(self, node: RBayNode) -> None:
+        recorder = self.obs.recorder if self.obs.enabled else None
         scribe = ScribeApplication(self.sim,
                                    cache_enabled=self.config.aggregate_cache,
-                                   counters=self.counters)
-        query_app = QueryApplication(self.context, counters=self.counters)
+                                   counters=self.counters,
+                                   recorder=recorder)
+        query_app = QueryApplication(self.context, counters=self.counters,
+                                     obs=self.obs)
+        if recorder is not None:
+            node.recorder = recorder
         node.register_app(scribe)
         node.register_app(query_app)
         scribe.anycast_visitor = query_app.visit

@@ -21,6 +21,7 @@ from repro.faults.schedule import FaultEvent, FaultSchedule, MessageRule
 from repro.metrics.counters import CounterRegistry
 from repro.net.message import Message
 from repro.net.network import FaultDecision, Host, Network
+from repro.obs.spans import NULL_RECORDER
 from repro.sim.engine import Simulator
 
 
@@ -69,8 +70,12 @@ class FaultInjector:
         rng: Optional[random.Random] = None,
         counters: Optional[CounterRegistry] = None,
         churn: Optional[Any] = None,
+        recorder=None,
     ):
         self.sim = sim
+        #: Span recorder: fault activations show up as instant events in
+        #: exported traces (NULL = tracing off).
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.network = network
         self.nodes = list(nodes)
         self.rng = rng if rng is not None else random.Random(0)
@@ -124,6 +129,9 @@ class FaultInjector:
             self.start_rule(event.rule)
         elif event.action == "rule_end":
             self.end_rule(event.rule)
+        if self.recorder.enabled:
+            self.recorder.instant(f"fault.{event.action}", category="fault",
+                                  detail=event.describe())
         self._record(event.describe())
 
     def crash_node(self, index: int) -> None:

@@ -6,11 +6,22 @@ registry is shared by every node of a simulated plane, so experiments read
 federation-wide totals from a single place.  Established families include
 ``scribe.*`` (tree caches), ``query.probe_cache.*``, ``query.retry.*``
 (probe / anycast / site protocol-step retries), ``query.degraded`` and
-``query.orphan_release`` (failure-path settlements), and ``faults.*``
-(injected crashes, partitions, and message-rule hits).  The registry is deliberately
-tiny: increment, read, snapshot, and reset — no types, no labels, no
-export machinery — because the simulator is single-threaded and the
-consumers are tests and benchmark tables.
+``query.orphan_release`` (failure-path settlements), ``faults.*``
+(injected crashes, partitions, and message-rule hits), and — when span
+tracing is on — ``query.step.*``, one counter per finished protocol-step
+span (``query.step.probe``, ``query.step.anycast``, ``query.step.backoff``,
+``query.step.site_rtt``, ``query.step.site_exec``, ...).
+
+The registry itself stays flat and type-free because the simulator is
+single-threaded and most consumers are tests and benchmark tables.
+Labeled instruments (histograms, gauges, counters keyed by
+``{site, tree, protocol_step}``) live one layer up in
+:mod:`repro.obs.metrics`: a :class:`repro.obs.metrics.MetricsRegistry`
+wraps this registry and *mirrors* every labeled-counter increment back
+into it under ``<family>.<step>``, so flat consumers (``--show-counters``,
+benchmark JSON) see the labeled families without code changes; span/trace
+export machinery likewise lives in :mod:`repro.obs`, layered over — never
+replacing — these counters.
 """
 
 from __future__ import annotations

@@ -54,6 +54,13 @@ class Message:
         network itself — one network send may be one overlay hop).
     trace:
         Optional list of host addresses visited, populated when tracing is on.
+    trace_ctx:
+        Causal propagation context ``(trace_id, span_id)`` stamped by the
+        network at send time when span tracing is enabled, and restored
+        around delivery — so spans opened in the receiver's handler parent
+        under the span that caused this message.  Carried out-of-band
+        (not in the payload): it never contributes to ``size_bytes`` and
+        never perturbs protocol behaviour.
     """
 
     kind: str
@@ -63,6 +70,7 @@ class Message:
     hops: int = 0
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     trace: Optional[list] = None
+    trace_ctx: Optional[tuple] = None
 
     def size_bytes(self) -> int:
         """Approximate wire size of this message."""
@@ -77,4 +85,5 @@ class Message:
             payload=payload,
             hops=self.hops,
             trace=None if self.trace is None else list(self.trace),
+            trace_ctx=self.trace_ctx,
         )

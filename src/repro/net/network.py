@@ -105,6 +105,11 @@ class Network:
         self._delivery_hook: Optional[Callable[[Message], None]] = None
         #: Per-send fault hook installed by a FaultInjector (None = healthy).
         self.fault_filter: Optional[FaultFilter] = None
+        #: Span recorder installed by the plane when tracing is enabled
+        #: (None = tracing off).  The network is the propagation point: it
+        #: stamps outgoing messages with the sender's current context and
+        #: restores that context around each delivery.
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -168,6 +173,8 @@ class Network:
             return
         msg.src = src.address
         msg.dst = dst_address
+        if self.recorder is not None and self.recorder.enabled and msg.trace_ctx is None:
+            msg.trace_ctx = self.recorder.current_ctx()
         self.messages_sent += 1
         size = msg.size_bytes()
         self.bytes_sent += size
@@ -214,6 +221,18 @@ class Network:
         self.per_host_bytes_in[dst_address] += size
         if msg.trace is not None:
             msg.trace.append(dst_address)
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled and msg.trace_ctx is not None:
+            # Restore the sender's causal context for the duration of the
+            # handler, so spans it opens parent under the causing span.
+            recorder.push_ctx(msg.trace_ctx)
+            try:
+                if self._delivery_hook is not None:
+                    self._delivery_hook(msg)
+                host.on_message(msg)
+            finally:
+                recorder.pop_ctx()
+            return
         if self._delivery_hook is not None:
             self._delivery_hook(msg)
         host.on_message(msg)

@@ -1,0 +1,218 @@
+"""Labeled metrics layered over the flat :class:`CounterRegistry`.
+
+Three instrument kinds, all addressed by ``(name, labels)`` where labels
+is a small dict like ``{"site": "Virginia", "step": "probe"}``:
+
+* :class:`LabeledCounter` — monotonic; every increment also mirrors into
+  the plane-wide flat :class:`~repro.metrics.counters.CounterRegistry`
+  under ``<name>.<primary-label-value>`` (e.g. ``query.step.probe``), so
+  existing counter consumers (``--show-counters``, benchmark tables) see
+  the new families for free.
+* :class:`LabeledGauge` — a settable last-value instrument.
+* :class:`LabeledHistogram` — latency samples with
+  count/mean/min/p50/p90/p99/max summaries (via ``repro.metrics.stats``).
+
+The layering is additive: the flat registry stays the source of truth for
+all pre-existing families, and this module never rewrites or renames them.
+Label sets are normalized to sorted tuples so lookup order never depends
+on call-site kwargs order — a determinism requirement for exports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.counters import CounterRegistry
+from repro.metrics.stats import format_table, mean, percentile
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Normalize a label dict to a canonical hashable key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class LabeledCounter:
+    """A monotonic counter family keyed by label sets."""
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self._registry = registry
+        self._values: Dict[LabelKey, int] = {}
+
+    def increment(self, amount: int = 1, **labels: Any) -> int:
+        key = _label_key(labels)
+        value = self._values.get(key, 0) + amount
+        self._values[key] = value
+        self._registry._mirror(self.name, amount, labels)
+        return value
+
+    def get(self, **labels: Any) -> int:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> int:
+        return sum(self._values.values())
+
+    def series(self) -> List[Tuple[LabelKey, int]]:
+        return sorted(self._values.items())
+
+
+class LabeledGauge:
+    """A last-value instrument (queue depths, in-flight counts)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels: Any) -> float:
+        key = _label_key(labels)
+        value = self._values.get(key, 0.0) + delta
+        self._values[key] = value
+        return value
+
+    def get(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+class LabeledHistogram:
+    """Latency samples per label set, summarized with stdlib percentiles."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: Dict[LabelKey, List[float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._samples.setdefault(_label_key(labels), []).append(value)
+
+    def count(self, **labels: Any) -> int:
+        return len(self._samples.get(_label_key(labels), ()))
+
+    def samples(self, **labels: Any) -> List[float]:
+        return list(self._samples.get(_label_key(labels), ()))
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        values = self._samples.get(_label_key(labels))
+        if not values:
+            raise KeyError(f"no samples for {self.name} {labels!r}")
+        return {
+            "count": float(len(values)),
+            "mean": mean(values),
+            "min": min(values),
+            "p50": percentile(values, 50),
+            "p90": percentile(values, 90),
+            "p99": percentile(values, 99),
+            "max": max(values),
+        }
+
+    def series(self) -> List[Tuple[LabelKey, List[float]]]:
+        return sorted(self._samples.items())
+
+
+class MetricsRegistry:
+    """One plane-wide home for labeled instruments.
+
+    Wraps (and mirrors counters into) the flat ``CounterRegistry`` passed
+    by the plane; creating instruments is idempotent by name.
+    """
+
+    #: Labels mirrored into the flat registry, in preference order — the
+    #: first one present names the flat counter (``query.step.probe``).
+    MIRROR_LABELS: Sequence[str] = ("step", "kind", "action")
+
+    def __init__(self, counters: Optional[CounterRegistry] = None):
+        self.counters = counters if counters is not None else CounterRegistry()
+        self._counters: Dict[str, LabeledCounter] = {}
+        self._gauges: Dict[str, LabeledGauge] = {}
+        self._histograms: Dict[str, LabeledHistogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> LabeledCounter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = LabeledCounter(name, self)
+        return inst
+
+    def gauge(self, name: str) -> LabeledGauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = LabeledGauge(name)
+        return inst
+
+    def histogram(self, name: str) -> LabeledHistogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = LabeledHistogram(name)
+        return inst
+
+    def _mirror(self, name: str, amount: int, labels: Dict[str, Any]) -> None:
+        """Mirror a labeled increment into the flat registry."""
+        for label in self.MIRROR_LABELS:
+            if label in labels:
+                self.counters.increment(f"{name}.{labels[label]}", amount)
+                return
+        self.counters.increment(name, amount)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A deterministic plain-data dump of every instrument."""
+        return {
+            "counters": {
+                name: [[list(map(list, key)), value] for key, value in inst.series()]
+                for name, inst in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: [[list(map(list, key)), value] for key, value in inst.series()]
+                for name, inst in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    _format_labels(key): _summary_of(values)
+                    for key, values in inst.series()
+                }
+                for name, inst in sorted(self._histograms.items())
+            },
+        }
+
+    def format_histogram(self, name: str) -> str:
+        """An aligned summary table of one histogram family, for the CLI."""
+        inst = self._histograms.get(name)
+        if inst is None or not inst.series():
+            return f"(no samples for {name})"
+        rows = []
+        for key, values in inst.series():
+            rows.append([
+                _format_labels(key) or "(all)",
+                len(values),
+                f"{mean(values):.2f}",
+                f"{percentile(values, 50):.2f}",
+                f"{percentile(values, 90):.2f}",
+                f"{percentile(values, 99):.2f}",
+                f"{max(values):.2f}",
+            ])
+        return format_table(
+            ["labels", "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"],
+            rows,
+        )
+
+
+def _format_labels(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _summary_of(values: List[float]) -> Dict[str, float]:
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "min": min(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }

@@ -1,0 +1,299 @@
+"""Causal span tracing on the simulation clock.
+
+A :class:`SpanRecorder` collects :class:`Span`\\ s — timed intervals with a
+trace id, a parent link, and free-form labels — so one query, multicast, or
+aggregate roll-up becomes a cross-node span *tree* rather than a flat event
+list.  Three properties drive the design:
+
+**Deterministic.**  Ids come from per-recorder counters and timestamps from
+the simulator's virtual clock, so identical seeds produce byte-identical
+traces (the exporter tests assert this).  Recording never touches an RNG
+and never schedules events: tracing on vs. off yields the *same* simulated
+behaviour, only with spans on the side.
+
+**Causally propagated.**  The recorder keeps a context stack of
+``(trace_id, span_id)`` pairs.  The network stamps outgoing messages with
+the current context and restores it around each delivery, so spans started
+inside a message handler — on any node — parent automatically under the
+span that caused the message.  Explicit parenting (``parent=span.ctx``) is
+used where work resumes from a timer rather than a delivery (retries,
+backoff waits).
+
+**Zero-cost when off.**  The :data:`NULL_RECORDER` singleton answers
+``enabled = False`` and no-ops every method; instrumentation sites guard
+with one ``if recorder.enabled:`` branch, so the disabled emit path costs a
+single attribute load and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: A propagation context: ``(trace_id, span_id)``.
+TraceContext = Tuple[int, int]
+
+
+@dataclass
+class Span:
+    """One recorded operation: an interval (or instant) on the virtual clock."""
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_ms: float
+    end_ms: Optional[float] = None
+    status: str = "ok"
+    kind: str = "span"  # "span" (interval) or "instant" (point event)
+    labels: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ctx(self) -> TraceContext:
+        """This span's propagation context, for explicit parenting."""
+        return (self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Elapsed virtual time (0.0 while the span is still open)."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+
+class _NullContext:
+    """A reusable no-op context manager (no per-use allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _ContextScope:
+    """Pushes a propagation context for the duration of a ``with`` block."""
+
+    __slots__ = ("_recorder", "_ctx")
+
+    def __init__(self, recorder: "SpanRecorder", ctx: TraceContext):
+        self._recorder = recorder
+        self._ctx = ctx
+
+    def __enter__(self) -> TraceContext:
+        self._recorder.push_ctx(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc: Any) -> None:
+        self._recorder.pop_ctx()
+
+
+class SpanRecorder:
+    """Bounded, deterministic span store shared by every node of a plane."""
+
+    enabled = True
+
+    def __init__(self, sim, max_spans: int = 200_000):
+        self.sim = sim
+        self.max_spans = max_spans
+        self._spans: List[Span] = []
+        self._ctx_stack: List[TraceContext] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        category: str = "span",
+        parent: Optional[TraceContext] = None,
+        new_trace: bool = False,
+        **labels: Any,
+    ) -> Span:
+        """Open a span.  Parent resolution, in order: explicit ``parent``
+        context, the top of the context stack (the delivery that caused this
+        work), else a fresh root trace.  ``new_trace=True`` forces a root."""
+        if new_trace or (parent is None and not self._ctx_stack):
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        else:
+            ctx = parent if parent is not None else self._ctx_stack[-1]
+            trace_id, parent_id = ctx
+        span = Span(
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            start_ms=self.sim.now,
+            labels=labels,
+        )
+        if len(self._spans) >= self.max_spans:
+            self.dropped += 1  # the caller still gets a span to end()
+        else:
+            self._spans.append(span)
+        return span
+
+    def end(self, span: Span, status: str = "ok", **labels: Any) -> Span:
+        """Close a span at the current virtual time."""
+        span.end_ms = self.sim.now
+        span.status = status
+        if labels:
+            span.labels.update(labels)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        category: str = "event",
+        parent: Optional[TraceContext] = None,
+        **labels: Any,
+    ) -> Span:
+        """Record a zero-duration point event (fault activations, visits)."""
+        span = self.start(name, category=category, parent=parent, **labels)
+        span.kind = "instant"
+        span.end_ms = span.start_ms
+        return span
+
+    # ------------------------------------------------------------------
+    # Context propagation
+    # ------------------------------------------------------------------
+    def push_ctx(self, ctx: TraceContext) -> None:
+        self._ctx_stack.append(ctx)
+
+    def pop_ctx(self) -> None:
+        self._ctx_stack.pop()
+
+    def current_ctx(self) -> Optional[TraceContext]:
+        """The propagation context of the work currently executing."""
+        return self._ctx_stack[-1] if self._ctx_stack else None
+
+    def use(self, span_or_ctx: Any):
+        """``with recorder.use(span):`` — sends inside the block inherit it.
+
+        Accepts a :class:`Span`, a raw context tuple, or ``None`` (no-op),
+        so call sites never need to branch on whether tracing is on.
+        """
+        if span_or_ctx is None:
+            return _NULL_CONTEXT
+        ctx = span_or_ctx.ctx if isinstance(span_or_ctx, Span) else span_or_ctx
+        return _ContextScope(self, ctx)
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+    def spans(self, category: Optional[str] = None) -> List[Span]:
+        if category is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.category == category]
+
+    def finished(self) -> List[Span]:
+        return [s for s in self._spans if s.end_ms is not None]
+
+    def trace(self, trace_id: int) -> List[Span]:
+        """All spans of one trace, in recording order."""
+        return [s for s in self._spans if s.trace_id == trace_id]
+
+    def roots(self, name: Optional[str] = None) -> List[Span]:
+        """Root spans (no parent), optionally filtered by name."""
+        return [s for s in self._spans
+                if s.parent_id is None and (name is None or s.name == name)]
+
+    def children_index(self) -> Dict[int, List[Span]]:
+        """``span_id -> children`` over every recorded span."""
+        index: Dict[int, List[Span]] = {}
+        for span in self._spans:
+            if span.parent_id is not None:
+                index.setdefault(span.parent_id, []).append(span)
+        return index
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._ctx_stack.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+
+#: Shared placeholder returned by the null recorder so callers that stash
+#: the result of ``start`` never hold ``None`` unexpectedly.
+NULL_SPAN = Span(trace_id=0, span_id=0, parent_id=None, name="null",
+                 category="null", start_ms=0.0, end_ms=0.0)
+
+
+class NullRecorder:
+    """The tracing-off recorder: every operation is a no-op.
+
+    ``enabled`` is False so hot paths skip emission with one branch; the
+    methods exist so cold paths may call them unconditionally.
+    """
+
+    enabled = False
+    dropped = 0
+    max_spans = 0
+
+    def start(self, name: str, **kwargs: Any) -> Span:
+        return NULL_SPAN
+
+    def end(self, span: Span, status: str = "ok", **labels: Any) -> Span:
+        return span
+
+    def instant(self, name: str, **kwargs: Any) -> Span:
+        return NULL_SPAN
+
+    def push_ctx(self, ctx: TraceContext) -> None:
+        pass
+
+    def pop_ctx(self) -> None:
+        pass
+
+    def current_ctx(self) -> Optional[TraceContext]:
+        return None
+
+    def use(self, span_or_ctx: Any):
+        return _NULL_CONTEXT
+
+    def spans(self, category: Optional[str] = None) -> List[Span]:
+        return []
+
+    def finished(self) -> List[Span]:
+        return []
+
+    def trace(self, trace_id: int) -> List[Span]:
+        return []
+
+    def roots(self, name: Optional[str] = None) -> List[Span]:
+        return []
+
+    def children_index(self) -> Dict[int, List[Span]]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(())
+
+
+NULL_RECORDER = NullRecorder()

@@ -8,6 +8,7 @@ from typing import Any, Dict, Optional
 from repro.net.message import Message
 from repro.net.network import Host
 from repro.net.site import Site
+from repro.obs.spans import NULL_RECORDER
 from repro.pastry.leafset import DEFAULT_LEAF_SET_SIZE, LeafSet
 from repro.pastry.nodeid import NodeId
 from repro.pastry.routing_table import NodeRef, RoutingTable
@@ -43,6 +44,10 @@ class PastryNode(Host):
     leaf set when the key is covered and the routing table otherwise
     (paper §II-B1).
     """
+
+    #: Span recorder shared by the plane (class default = tracing off);
+    #: overwritten per instance by the plane when tracing is enabled.
+    recorder = NULL_RECORDER
 
     def __init__(
         self,
@@ -170,6 +175,12 @@ class PastryNode(Host):
             return
         if not local:
             self.stats["route_received"] += 1
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "pastry.hop", category="pastry",
+                    site=self.site.name, addr=self.address,
+                    hops=msg.hops, app=msg.payload["app"],
+                )
         scope = msg.payload.get("scope", "global")
         next_hop = self._next_hop(key, scope)
         if next_hop is None:

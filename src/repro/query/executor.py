@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # avoid the core <-> query.executor import cycle
     from repro.core.naming import AttributeHierarchy
     from repro.core.node import RBayNode
 from repro.metrics.counters import CounterRegistry
+from repro.obs import Observability
 from repro.pastry.node import Application
 from repro.query.backoff import TruncatedExponentialBackoff
 from repro.query.errors import QueryTimeout
@@ -151,10 +152,14 @@ class QueryApplication(Application):
     name = "query"
 
     def __init__(self, context: QueryContext,
-                 counters: Optional[CounterRegistry] = None):
+                 counters: Optional[CounterRegistry] = None,
+                 obs: Optional[Observability] = None):
         self.context = context
         self._pending: Dict[int, Future] = {}
         self.counters = counters
+        #: Causal observability plane (tracing off by default): spans for
+        #: every protocol step plus the per-step latency histogram.
+        self.obs = obs if obs is not None else Observability()
         #: Step-1 probe cache: topic -> last observed tree size.  Entries
         #: are trusted up to ``context.probe_cache_ms`` of staleness and
         #: dropped eagerly when the co-located Scribe instance observes any
@@ -203,22 +208,32 @@ class QueryApplication(Application):
         done = Future(sim, timeout=timeout, timeout_value=lambda: QueryTimeout(
             query_id, timeout))
 
+        rec = self.obs.recorder
+        root_span = None
+        if rec.enabled:
+            root_span = rec.start(
+                "query", category="query", new_trace=True, step="coordinate",
+                site=node.site.name, addr=node.address, query_id=query_id)
+
         site_futures: List[Future] = []
         fanned_out: List[str] = []
         answered: List[str] = []
         retries_used = [0]
-        for site_name in target_sites:
-            if site_name == node.site.name:
-                future = self._run_site(node, query_id, query, payload, caller)
-            else:
-                gateway = self.context.gateways.get(site_name)
-                if gateway is None:
-                    continue
-                future = self._ask_remote_site(node, gateway, query_id, query,
-                                               payload, caller, retries_used)
-            future.add_callback(self._tag_site(answered, site_name))
-            site_futures.append(future)
-            fanned_out.append(site_name)
+        with rec.use(root_span):
+            for site_name in target_sites:
+                if site_name == node.site.name:
+                    future = self._run_site(node, query_id, query, payload, caller)
+                else:
+                    gateway = self.context.gateways.get(site_name)
+                    if gateway is None:
+                        continue
+                    future = self._ask_remote_site(
+                        node, gateway, query_id, query, payload, caller,
+                        retries_used, site_name=site_name,
+                        parent_ctx=None if root_span is None else root_span.ctx)
+                future.add_callback(self._tag_site(answered, site_name))
+                site_futures.append(future)
+                fanned_out.append(site_name)
 
         def _merge(site_results: Any) -> None:
             if isinstance(site_results, FutureTimeout):
@@ -238,11 +253,18 @@ class QueryApplication(Application):
             # treat the result as declined and release every reservation.
             caller_gone = done.resolved
             if satisfied and not caller_gone:
-                self._settle_locks(node, query_id, selected, rejected)
+                committed, released = selected, rejected
             else:
                 # A short query commits nothing: every reservation is
                 # released so a re-query (ours or a competitor's) can win.
-                self._settle_locks(node, query_id, [], selected + rejected)
+                committed, released = [], selected + rejected
+            with rec.use(root_span):
+                if rec.enabled and (committed or released):
+                    rec.instant("query.settle", category="query",
+                                step="commit_release", site=node.site.name,
+                                addr=node.address, committed=len(committed),
+                                released=len(released))
+                self._settle_locks(node, query_id, committed, released)
             result.entries = selected
             result.satisfied = satisfied and not caller_gone
             result.sites_answered = list(answered)
@@ -251,6 +273,14 @@ class QueryApplication(Application):
             result.finished_at = sim.now
             if result.degraded and self.counters is not None:
                 self.counters.increment("query.degraded")
+            if rec.enabled:
+                status = ("degraded" if result.degraded
+                          else "ok" if result.satisfied else "unsatisfied")
+                rec.end(root_span, status=status, retries=result.retries)
+                # End-to-end latency gets its own histogram; the per-step
+                # one is fed by the step spans underneath this root.
+                self.obs.metrics.histogram("query.duration_ms").observe(
+                    root_span.duration_ms, site=node.site.name)
             done.try_resolve(result)
 
         gather(sim, site_futures,
@@ -303,7 +333,9 @@ class QueryApplication(Application):
     def _ask_remote_site(self, node: "RBayNode", gateway: int, query_id: int,
                          query: Query, payload: Optional[Dict[str, Any]],
                          caller: Optional[str],
-                         retries_used: Optional[List[int]] = None) -> Future:
+                         retries_used: Optional[List[int]] = None,
+                         site_name: Optional[str] = None,
+                         parent_ctx=None) -> Future:
         """Send a site_query to ``gateway``, retrying lost rounds.
 
         Each attempt uses a fresh request id with its own per-attempt
@@ -313,21 +345,35 @@ class QueryApplication(Application):
         sim = self.context.sim
         done = Future(sim)
         backoff = self.context.step_backoff()
+        rec = self.obs.recorder
+        remote = site_name if site_name is not None else str(gateway)
 
         def _attempt() -> None:
             request_id = next(_request_ids)
             attempt = Future(sim, timeout=self.context.site_timeout_ms)
             self._pending[request_id] = attempt
-            node.send_app(gateway, self.name, "site_query", {
-                "request_id": request_id,
-                "query_id": query_id,
-                "k": query.k,
-                "where": [[p.pack() for p in conjunction] for conjunction in query.where],
-                "order_by": query.order_by,
-                "payload": payload,
-                "caller": caller,
-                "origin": node.address,
-            })
+            span = None
+            if rec.enabled:
+                # Retries resume from a timer (empty context stack), so the
+                # attempt span parents explicitly under the query root.
+                span = rec.start("query.site", category="query",
+                                 parent=parent_ctx, step="site_rtt",
+                                 site=remote, addr=node.address,
+                                 attempt=backoff.failures + 1)
+                attempt.add_callback(lambda value: self.obs.end_step(
+                    span, status="timeout" if isinstance(value, FutureTimeout)
+                    or value is None else "ok"))
+            with rec.use(span):
+                node.send_app(gateway, self.name, "site_query", {
+                    "request_id": request_id,
+                    "query_id": query_id,
+                    "k": query.k,
+                    "where": [[p.pack() for p in conjunction] for conjunction in query.where],
+                    "order_by": query.order_by,
+                    "payload": payload,
+                    "caller": caller,
+                    "origin": node.address,
+                })
 
             def _on_reply(value: Any) -> None:
                 if done.resolved:
@@ -347,7 +393,16 @@ class QueryApplication(Application):
                     retries_used[0] += 1
                 if self.counters is not None:
                     self.counters.increment("query.retry.site")
-                sim.schedule(backoff.next_delay_ms(), _attempt)
+                delay = backoff.next_delay_ms()
+                if rec.enabled:
+                    wait = rec.start("query.backoff", category="query",
+                                     parent=parent_ctx, step="backoff",
+                                     retry_of="site", site=remote,
+                                     addr=node.address)
+                    sim.schedule(delay, lambda: (
+                        self.obs.end_step(wait), _attempt()))
+                else:
+                    sim.schedule(delay, _attempt)
 
             attempt.add_callback(_on_reply)
 
@@ -423,6 +478,19 @@ class QueryApplication(Application):
             sim.call_soon(done.try_resolve, {"entries": [], "tree_sizes": {},
                                              "visited": 0})
             return done
+        rec = self.obs.recorder
+        exec_span = None
+        exec_ctx = None
+        if rec.enabled:
+            # Parent comes from the context stack: the query root for the
+            # local site, the coordinator's site_rtt attempt for a gateway.
+            exec_span = rec.start("query.site_exec", category="query",
+                                  step="site_exec", site=site_name,
+                                  addr=node.address, query_id=query_id)
+            exec_ctx = exec_span.ctx
+            done.add_callback(lambda result: self.obs.end_step(
+                exec_span, status="timeout" if isinstance(result, FutureTimeout)
+                or result is None else "ok"))
 
         # Steps 1-2: probe sizes of every candidate tree, grouped by the
         # predicate it serves.  Fresh probe-cache entries answer locally;
@@ -443,20 +511,33 @@ class QueryApplication(Application):
                 size_of[topic] = cached_size
             else:
                 to_probe.append(topic)
+        if rec.enabled and size_of:
+            rec.instant("query.probe_cache_hit", category="query",
+                        parent=exec_ctx, site=site_name, addr=node.address,
+                        topics=len(size_of))
         probe_backoff = self.context.step_backoff()
 
         def _probe_round(topics_left: List[str]) -> None:
-            round_probes = [
-                node.scribe.tree_size(node, topic,
-                                      timeout=self.context.probe_timeout_ms,
-                                      scope=self.context.tree_scope)
-                for topic in topics_left
-            ]
+            probe_span = None
+            if rec.enabled:
+                probe_span = rec.start(
+                    "query.probe", category="query", parent=exec_ctx,
+                    step="probe", site=site_name, addr=node.address,
+                    topics=len(topics_left),
+                    attempt=probe_backoff.failures + 1)
+            with rec.use(probe_span):
+                round_probes = [
+                    node.scribe.tree_size(node, topic,
+                                          timeout=self.context.probe_timeout_ms,
+                                          scope=self.context.tree_scope)
+                    for topic in topics_left
+                ]
             gather(sim, round_probes,
                    timeout=self.context.probe_timeout_ms).add_callback(
-                lambda sizes: _collect_probe(topics_left, sizes))
+                lambda sizes: _collect_probe(topics_left, sizes, probe_span))
 
-        def _collect_probe(topics_left: List[str], sizes: Any) -> None:
+        def _collect_probe(topics_left: List[str], sizes: Any,
+                           probe_span=None) -> None:
             if isinstance(sizes, FutureTimeout):
                 sizes = [FutureTimeout()] * len(topics_left)
             missing: List[str] = []
@@ -467,14 +548,25 @@ class QueryApplication(Application):
                 size_of[topic] = int(size or 0)
                 if ttl > 0:
                     self.probe_cache.put(topic, size_of[topic], sim.now)
+            if rec.enabled:
+                self.obs.end_step(probe_span,
+                                  status="timeout" if missing else "ok")
             if missing:
                 probe_backoff.record_failure()
                 if not probe_backoff.exhausted():
                     # Re-probe only the trees whose size is still unknown.
                     if self.counters is not None:
                         self.counters.increment("query.retry.probe")
-                    sim.schedule(probe_backoff.next_delay_ms(),
-                                 lambda: _probe_round(missing))
+                    delay = probe_backoff.next_delay_ms()
+                    if rec.enabled:
+                        wait = rec.start("query.backoff", category="query",
+                                         parent=exec_ctx, step="backoff",
+                                         retry_of="probe", site=site_name,
+                                         addr=node.address)
+                        sim.schedule(delay, lambda: (
+                            self.obs.end_step(wait), _probe_round(missing)))
+                    else:
+                        sim.schedule(delay, lambda: _probe_round(missing))
                     return
                 # Retry budget spent: an unreachable tree counts as empty,
                 # so planning proceeds on what did answer.
@@ -520,7 +612,8 @@ class QueryApplication(Application):
                 "order_by": order_by,
                 "entries": [],
             }
-            self._anycast_chain(node, topics, state, size_of, done)
+            self._anycast_chain(node, topics, state, size_of, done,
+                                parent=exec_ctx)
 
         if to_probe:
             _probe_round(to_probe)
@@ -532,7 +625,8 @@ class QueryApplication(Application):
 
     def _anycast_chain(self, node: "RBayNode", topics: List[str], state: Dict[str, Any],
                        tree_sizes: Dict[str, int], done: Future,
-                       backoff: Optional[TruncatedExponentialBackoff] = None) -> None:
+                       backoff: Optional[TruncatedExponentialBackoff] = None,
+                       parent=None) -> None:
         """Step 4: anycast trees in ascending-size order until k filled.
 
         A lost anycast (dropped message, crashed member mid-DFS) is retried
@@ -549,31 +643,60 @@ class QueryApplication(Application):
         topic, rest = topics[0], topics[1:]
         if backoff is None:
             backoff = self.context.step_backoff()
+        rec = self.obs.recorder
+        span = None
+        if rec.enabled:
+            span = rec.start("query.anycast", category="query", parent=parent,
+                             step="anycast", site=node.site.name,
+                             addr=node.address, topic=topic,
+                             attempt=backoff.failures + 1)
 
         def _next(result: Any) -> None:
             if isinstance(result, FutureTimeout) or result is None:
+                if rec.enabled:
+                    self.obs.end_step(span, status="timeout")
                 backoff.record_failure()
                 if not backoff.exhausted():
                     state["retries"] = state.get("retries", 0) + 1
                     if self.counters is not None:
                         self.counters.increment("query.retry.anycast")
-                    sim.schedule(
-                        backoff.next_delay_ms(),
-                        lambda: self._anycast_chain(node, topics, state,
-                                                    tree_sizes, done, backoff))
+                    delay = backoff.next_delay_ms()
+                    if rec.enabled:
+                        wait = rec.start("query.backoff", category="query",
+                                         parent=parent, step="backoff",
+                                         retry_of="anycast", site=node.site.name,
+                                         addr=node.address, topic=topic)
+                        sim.schedule(delay, lambda: (
+                            self.obs.end_step(wait),
+                            self._anycast_chain(node, topics, state, tree_sizes,
+                                                done, backoff, parent=parent)))
+                    else:
+                        sim.schedule(
+                            delay,
+                            lambda: self._anycast_chain(node, topics, state,
+                                                        tree_sizes, done, backoff,
+                                                        parent=parent))
                     return
                 # Budget spent on this tree: fall through to the next one
                 # (fresh budget — failures are per-tree, not per-chain).
-                self._anycast_chain(node, rest, state, tree_sizes, done)
+                self._anycast_chain(node, rest, state, tree_sizes, done,
+                                    parent=parent)
                 return
+            if rec.enabled:
+                self.obs.end_step(
+                    span, status="ok",
+                    visited=result.get("visited_members", 0),
+                    satisfied=bool(result.get("satisfied")))
             state["entries"] = result.get("entries", state["entries"])
             state["visited_total"] = (state.get("visited_total", 0)
                                       + result.get("visited_members", 0))
-            self._anycast_chain(node, rest, state, tree_sizes, done)
+            self._anycast_chain(node, rest, state, tree_sizes, done,
+                                parent=parent)
 
-        node.scribe.anycast(node, topic, state,
-                            timeout=self.context.site_timeout_ms,
-                            scope=self.context.tree_scope).add_callback(_next)
+        with rec.use(span):
+            node.scribe.anycast(node, topic, state,
+                                timeout=self.context.site_timeout_ms,
+                                scope=self.context.tree_scope).add_callback(_next)
 
     # ------------------------------------------------------------------
     # Anycast visitor (runs at each visited member; wired by the plane)

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.metrics.counters import CounterRegistry
 from repro.net.message import Message
+from repro.obs.spans import NULL_RECORDER
 from repro.pastry.node import Application, PastryNode
 from repro.pastry.nodeid import NodeId
 from repro.pastry.routing_table import NodeRef
@@ -88,8 +89,11 @@ class ScribeApplication(Application):
         agg_flush_ms: float = 50.0,
         cache_enabled: bool = True,
         counters: Optional[CounterRegistry] = None,
+        recorder=None,
     ):
         self.sim = sim
+        #: Span recorder for the causal observability plane (NULL = off).
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.creator = creator
         #: Coalescing window for aggregation pushes: changes accumulated
         #: within this window travel upward as one update (the paper's
@@ -192,9 +196,17 @@ class ScribeApplication(Application):
     def multicast(self, node: PastryNode, topic: str, payload: Dict[str, Any]) -> None:
         """Disseminate ``payload`` to all members via the rendezvous root."""
         state = self.topic_state(topic)
-        node.route(state.key, self.name, {"op": "mcast", "topic": topic,
-                                          "scope": state.scope, "body": payload},
-                   scope=state.scope)
+        rec = self.recorder
+        span = None
+        if rec.enabled:
+            # Multicast is fire-and-forget: record the send as an instant;
+            # deliveries parent under it via the propagated message context.
+            span = rec.instant("scribe.multicast", category="scribe", topic=topic,
+                               site=node.site.name, addr=node.address)
+        with rec.use(span):
+            node.route(state.key, self.name, {"op": "mcast", "topic": topic,
+                                              "scope": state.scope, "body": payload},
+                       scope=state.scope)
 
     def anycast(
         self,
@@ -213,16 +225,25 @@ class ScribeApplication(Application):
         future = Future(self.sim, timeout=timeout)
         self._pending[request_id] = future
         state = self.topic_state(topic, scope)
-        node.route(state.key, self.name, {
-            "op": "anycast",
-            "topic": topic,
-            "scope": state.scope,
-            "origin": node.address,
-            "request_id": request_id,
-            "visited": [],
-            "visited_members": 0,
-            "state": state_payload,
-        }, scope=state.scope)
+        rec = self.recorder
+        span = None
+        if rec.enabled:
+            span = rec.start("scribe.anycast", category="scribe", topic=topic,
+                             step="member_search",
+                             site=node.site.name, addr=node.address)
+            future.add_callback(lambda result: rec.end(
+                span, status="error" if isinstance(result, Exception) else "ok"))
+        with rec.use(span):
+            node.route(state.key, self.name, {
+                "op": "anycast",
+                "topic": topic,
+                "scope": state.scope,
+                "origin": node.address,
+                "request_id": request_id,
+                "visited": [],
+                "visited_members": 0,
+                "state": state_payload,
+            }, scope=state.scope)
         return future
 
     def set_local(self, node: PastryNode, topic: str, agg_name: str, value: Any) -> None:
@@ -271,6 +292,10 @@ class ScribeApplication(Application):
                     break
                 cached[agg_name] = value
             else:
+                if self.recorder.enabled:
+                    self.recorder.instant(
+                        "scribe.agg_cache_hit", category="scribe", topic=topic,
+                        site=node.site.name, addr=node.address)
                 future = Future(self.sim, timeout=timeout)
                 self.sim.call_soon(future.try_resolve, cached)
                 return future
@@ -278,14 +303,23 @@ class ScribeApplication(Application):
         future = Future(self.sim, timeout=timeout)
         self._pending[request_id] = future
         state = self.topic_state(topic, scope)
-        node.route(state.key, self.name, {
-            "op": "agg_get",
-            "topic": topic,
-            "scope": state.scope,
-            "origin": node.address,
-            "request_id": request_id,
-            "names": list(agg_names),
-        }, scope=state.scope)
+        rec = self.recorder
+        span = None
+        if rec.enabled:
+            span = rec.start("scribe.agg_get", category="scribe", topic=topic,
+                             step="aggregate",
+                             site=node.site.name, addr=node.address)
+            future.add_callback(lambda result: rec.end(
+                span, status="error" if isinstance(result, Exception) else "ok"))
+        with rec.use(span):
+            node.route(state.key, self.name, {
+                "op": "agg_get",
+                "topic": topic,
+                "scope": state.scope,
+                "origin": node.address,
+                "request_id": request_id,
+                "names": list(agg_names),
+            }, scope=state.scope)
         return future
 
     def query_aggregate_fresh(
@@ -308,14 +342,23 @@ class ScribeApplication(Application):
         future = Future(self.sim, timeout=timeout)
         self._pending[request_id] = future
         state = self.topic_state(topic, scope)
-        node.route(state.key, self.name, {
-            "op": "agg_pull",
-            "topic": topic,
-            "scope": state.scope,
-            "origin": node.address,
-            "request_id": request_id,
-            "names": list(agg_names),
-        }, scope=state.scope)
+        rec = self.recorder
+        span = None
+        if rec.enabled:
+            span = rec.start("scribe.agg_pull", category="scribe", topic=topic,
+                             step="aggregate",
+                             site=node.site.name, addr=node.address)
+            future.add_callback(lambda result: rec.end(
+                span, status="error" if isinstance(result, Exception) else "ok"))
+        with rec.use(span):
+            node.route(state.key, self.name, {
+                "op": "agg_pull",
+                "topic": topic,
+                "scope": state.scope,
+                "origin": node.address,
+                "request_id": request_id,
+                "names": list(agg_names),
+            }, scope=state.scope)
         return future
 
     def tree_size(self, node: PastryNode, topic: str, timeout: Optional[float] = None,
@@ -553,6 +596,10 @@ class ScribeApplication(Application):
     # ------------------------------------------------------------------
     def _disseminate(self, node: PastryNode, state: TopicState, body: Dict[str, Any]) -> None:
         if state.member and self.multicast_handler is not None:
+            if self.recorder.enabled:
+                self.recorder.instant(
+                    "scribe.mcast_deliver", category="scribe", topic=state.topic,
+                    site=node.site.name, addr=node.address)
             self.multicast_handler(node, state.topic, body)
         for address in list(state.children):
             if node.network.has_host(address):
@@ -577,6 +624,11 @@ class ScribeApplication(Application):
                     if self.anycast_visitor is not None
                     else False
                 )
+                if self.recorder.enabled:
+                    self.recorder.instant(
+                        "scribe.anycast_visit", category="scribe", topic=topic,
+                        site=node.site.name, addr=node.address,
+                        satisfied=satisfied, step="member_search")
                 if satisfied:
                     self._anycast_reply(node, data, satisfied=True)
                     return

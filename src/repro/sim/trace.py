@@ -1,10 +1,19 @@
-"""Structured event tracing for simulations.
+"""Legacy flat event tracing, now an adapter over the span recorder.
 
-A :class:`Tracer` collects timestamped, categorized events (routing hops,
-tree operations, query phases) with bounded memory, for debugging and for
-experiments that need full timelines.  Tracing is pull-based: components
-call ``tracer.emit(...)`` through an injected tracer or the module-level
-null tracer, which costs one ``if`` when disabled.
+Historically this module owned its own event list; since the causal
+observability plane (:mod:`repro.obs`) landed there is a single emission
+path: every :meth:`Tracer.emit` records an *instant span* through a
+:class:`~repro.obs.spans.SpanRecorder`, and the flat
+:class:`TraceEvent` views returned here are read back from those spans.
+Events emitted this way therefore show up in span exports (JSON / Chrome
+``trace_event``) alongside protocol spans.
+
+.. deprecated:: Direct construction of :class:`Tracer` is a
+   compatibility path for existing tests and examples.  New code should
+   enable tracing on the plane (``RBayConfig(tracing=True)``) and use
+   ``plane.obs.recorder`` directly — or pass that shared recorder in via
+   ``Tracer(sim, recorder=plane.obs.recorder)`` when the flat ``emit``
+   API is still wanted.
 """
 
 from __future__ import annotations
@@ -12,12 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.obs.spans import Span, SpanRecorder
 from repro.sim.engine import Simulator
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded event."""
+    """One recorded event (a flat view of an instant span)."""
 
     time: float
     category: str
@@ -26,18 +36,29 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory event recorder with category filtering."""
+    """Bounded event recorder with category filtering (span-backed).
+
+    ``recorder`` may be a shared :class:`SpanRecorder` (e.g. the plane's,
+    so flat events and protocol spans land in one store); by default the
+    tracer owns a private recorder sized to ``max_events``.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         max_events: int = 100_000,
         categories: Optional[List[str]] = None,
+        recorder: Optional[SpanRecorder] = None,
     ):
         self.sim = sim
         self.max_events = max_events
         self._filter = None if categories is None else frozenset(categories)
-        self._events: List[TraceEvent] = []
+        self._owns_recorder = recorder is None
+        self.recorder = (SpanRecorder(sim, max_spans=max_events)
+                         if recorder is None else recorder)
+        #: This tracer's own emissions (span objects), so a shared
+        #: recorder's protocol spans never leak into the flat views.
+        self._spans: List[Span] = []
         self.dropped = 0
         self.enabled = True
 
@@ -48,47 +69,54 @@ class Tracer:
             return
         if self._filter is not None and category not in self._filter:
             return
-        if len(self._events) >= self.max_events:
+        if len(self._spans) >= self.max_events:
             self.dropped += 1
             return
-        self._events.append(TraceEvent(self.sim.now, category, message, fields))
+        self._spans.append(
+            self.recorder.instant(message, category=category, **fields))
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _to_event(span: Span) -> TraceEvent:
+        return TraceEvent(span.start_ms, span.category, span.name, span.labels)
+
     def events(self, category: Optional[str] = None) -> List[TraceEvent]:
-        if category is None:
-            return list(self._events)
-        return [e for e in self._events if e.category == category]
+        return [self._to_event(s) for s in self._spans
+                if category is None or s.category == category]
 
     def between(self, start: float, end: float) -> List[TraceEvent]:
-        return [e for e in self._events if start <= e.time <= end]
+        return [self._to_event(s) for s in self._spans
+                if start <= s.start_ms <= end]
 
     def count(self, category: Optional[str] = None) -> int:
         if category is None:
-            return len(self._events)
-        return sum(1 for e in self._events if e.category == category)
+            return len(self._spans)
+        return sum(1 for s in self._spans if s.category == category)
 
     def clear(self) -> None:
-        self._events.clear()
+        self._spans.clear()
         self.dropped = 0
+        if self._owns_recorder:
+            self.recorder.clear()
 
     def categories(self) -> List[str]:
-        return sorted({e.category for e in self._events})
+        return sorted({s.category for s in self._spans})
 
     def format(self, limit: Optional[int] = None) -> str:
         """Human-readable dump, newest last."""
-        events = self._events if limit is None else self._events[-limit:]
+        spans = self._spans if limit is None else self._spans[-limit:]
         lines = []
-        for event in events:
-            extra = " ".join(f"{k}={v}" for k, v in event.fields.items())
-            lines.append(f"[{event.time:12.3f}ms] {event.category:<12} "
-                         f"{event.message}" + (f"  ({extra})" if extra else ""))
+        for span in spans:
+            extra = " ".join(f"{k}={v}" for k, v in span.labels.items())
+            lines.append(f"[{span.start_ms:12.3f}ms] {span.category:<12} "
+                         f"{span.name}" + (f"  ({extra})" if extra else ""))
         return "\n".join(lines)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self.events())
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._spans)
 
 
 class NullTracer:

@@ -1,0 +1,181 @@
+"""Critical-path extraction on hand-built span trees.
+
+The invariant under test: the returned segments are disjoint,
+chronological, and exactly cover ``[root.start_ms, root.end_ms]`` — so
+their durations always sum to the measured end-to-end latency, whatever
+the tree shape (overlapping children, retries, backoff waits, noise from
+other traces).
+"""
+
+import pytest
+
+from repro.obs.critical_path import (
+    PathSegment,
+    critical_path,
+    format_breakdown,
+    format_path,
+    step_breakdown,
+)
+from repro.obs.spans import Span
+
+
+def make_span(span_id, name, start, end, parent_id=None, trace_id=1,
+              kind="span", **labels):
+    return Span(trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+                name=name, category="test", start_ms=start, end_ms=end,
+                kind=kind, labels=labels)
+
+
+def assert_exact_cover(segments, root):
+    """Disjoint, chronological, and covering [root.start, root.end]."""
+    assert segments, "empty path for a non-empty window"
+    assert segments[0].start_ms == root.start_ms
+    assert segments[-1].end_ms == root.end_ms
+    for before, after in zip(segments, segments[1:]):
+        assert before.end_ms == after.start_ms, "gap or overlap in the path"
+    total = sum(seg.duration_ms for seg in segments)
+    assert total == pytest.approx(root.duration_ms, abs=1e-9)
+
+
+class TestSimpleTrees:
+    def test_childless_root_is_one_leaf_segment(self):
+        root = make_span(1, "query", 0.0, 50.0)
+        segments = critical_path(root, [root])
+        assert len(segments) == 1
+        seg = segments[0]
+        # A leaf occupies its whole slice; it is not a gap, so not "self".
+        assert (seg.span, seg.self_time) == (root, False)
+        assert_exact_cover(segments, root)
+
+    def test_single_child_splits_the_window(self):
+        root = make_span(1, "query", 0.0, 100.0)
+        child = make_span(2, "probe", 20.0, 60.0, parent_id=1, step="probe")
+        segments = critical_path(root, [root, child])
+        assert [(s.span.name, s.start_ms, s.end_ms, s.self_time)
+                for s in segments] == [
+            ("query", 0.0, 20.0, True),
+            ("probe", 20.0, 60.0, False),
+            ("query", 60.0, 100.0, True),
+        ]
+        assert_exact_cover(segments, root)
+
+    def test_unfinished_root_raises(self):
+        root = make_span(1, "query", 0.0, None)
+        with pytest.raises(ValueError):
+            critical_path(root, [root])
+
+    def test_instants_and_open_children_never_gate(self):
+        root = make_span(1, "query", 0.0, 40.0)
+        spans = [
+            root,
+            make_span(2, "fault", 10.0, 10.0, parent_id=1, kind="instant"),
+            make_span(3, "open", 5.0, None, parent_id=1),
+        ]
+        segments = critical_path(root, spans)
+        assert len(segments) == 1
+        assert segments[0].self_time
+
+    def test_other_traces_are_ignored(self):
+        root = make_span(1, "query", 0.0, 40.0)
+        alien = make_span(9, "noise", 0.0, 40.0, parent_id=1, trace_id=7)
+        segments = critical_path(root, [root, alien])
+        assert len(segments) == 1
+        assert segments[0].span is root
+
+
+class TestOverlapAndRetries:
+    def build_retry_tree(self):
+        """A query whose site step times out once and retries after a
+        backoff wait; a probe overlaps the site attempt's start."""
+        root = make_span(1, "query", 0.0, 100.0, step="coordinate")
+        probe = make_span(2, "query.probe", 10.0, 40.0, parent_id=1,
+                          step="probe")
+        site = make_span(3, "query.site", 20.0, 90.0, parent_id=1,
+                         step="site_rtt")
+        attempt1 = make_span(4, "query.site", 30.0, 50.0, parent_id=3,
+                             step="site_rtt", attempt=1)
+        backoff = make_span(5, "query.backoff", 50.0, 60.0, parent_id=3,
+                            step="backoff", retry_of="site")
+        attempt2 = make_span(6, "query.site", 60.0, 85.0, parent_id=3,
+                             step="site_rtt", attempt=2)
+        return root, [root, probe, site, attempt1, backoff, attempt2]
+
+    def test_retry_tree_path_and_exact_sum(self):
+        root, spans = self.build_retry_tree()
+        segments = critical_path(root, spans)
+        assert_exact_cover(segments, root)
+        names = [(s.span.span_id, s.self_time, s.start_ms, s.end_ms)
+                 for s in segments]
+        assert names == [
+            (1, True, 0.0, 10.0),    # root self before the probe
+            (2, False, 10.0, 20.0),  # probe until the site span starts
+            (3, True, 20.0, 30.0),   # site self before attempt 1
+            (4, False, 30.0, 50.0),  # attempt 1 (timed out)
+            (5, False, 50.0, 60.0),  # backoff wait
+            (6, False, 60.0, 85.0),  # attempt 2
+            (3, True, 85.0, 90.0),   # site self after the last attempt
+            (1, True, 90.0, 100.0),  # root self (settle)
+        ]
+
+    def test_retries_and_backoff_are_attributed_to_steps(self):
+        root, spans = self.build_retry_tree()
+        totals = step_breakdown(critical_path(root, spans))
+        assert totals["backoff"] == pytest.approx(10.0)
+        assert totals["site_rtt"] == pytest.approx(60.0)  # 10+20+25+5
+        assert totals["probe"] == pytest.approx(10.0)
+        assert totals["coordinate"] == pytest.approx(20.0)
+        assert sum(totals.values()) == pytest.approx(root.duration_ms)
+
+    def test_overlapping_children_only_gate_where_latest(self):
+        """Two concurrent fan-outs: only the gating portions land."""
+        root = make_span(1, "query", 0.0, 100.0)
+        fast = make_span(2, "site-a", 10.0, 40.0, parent_id=1, step="site_rtt")
+        slow = make_span(3, "site-b", 15.0, 95.0, parent_id=1, step="site_rtt")
+        segments = critical_path(root, [root, fast, slow])
+        assert_exact_cover(segments, root)
+        by_span = [(s.span.span_id, s.start_ms, s.end_ms) for s in segments]
+        assert by_span == [
+            (1, 0.0, 10.0),
+            (2, 10.0, 15.0),   # only the part before the slow span started
+            (3, 15.0, 95.0),
+            (1, 95.0, 100.0),
+        ]
+
+    def test_equal_end_tiebreak_picks_larger_span_id(self):
+        root = make_span(1, "query", 0.0, 50.0)
+        a = make_span(2, "a", 0.0, 50.0, parent_id=1)
+        b = make_span(3, "b", 0.0, 50.0, parent_id=1)
+        segments = critical_path(root, [root, a, b])
+        assert segments == [PathSegment(b, 0.0, 50.0, self_time=False)]
+
+    def test_child_overhanging_the_window_is_clamped(self):
+        root = make_span(1, "query", 10.0, 60.0)
+        # Started before the root window and ends after it (e.g. a span
+        # from a sibling retry); only the in-window part may be charged.
+        wide = make_span(2, "wide", 0.0, 80.0, parent_id=1)
+        segments = critical_path(root, [root, wide])
+        assert segments == [PathSegment(wide, 10.0, 60.0, self_time=False)]
+
+
+class TestFormatting:
+    def test_step_falls_back_to_span_name(self):
+        span = make_span(1, "scribe.agg_get", 0.0, 5.0)
+        assert PathSegment(span, 0.0, 5.0, False).step == "scribe.agg_get"
+        labeled = make_span(2, "scribe.agg_get", 0.0, 5.0, step="aggregate")
+        assert PathSegment(labeled, 0.0, 5.0, False).step == "aggregate"
+
+    def test_format_breakdown_has_shares_and_total(self):
+        root = make_span(1, "query", 0.0, 100.0)
+        child = make_span(2, "probe", 0.0, 25.0, parent_id=1, step="probe")
+        text = format_breakdown(critical_path(root, [root, child]))
+        assert "probe" in text
+        assert "25.0%" in text
+        assert "total" in text
+        assert "100.0%" in text
+
+    def test_format_path_marks_gap_segments_only(self):
+        root = make_span(1, "query", 0.0, 10.0)
+        child = make_span(2, "probe", 2.0, 6.0, parent_id=1, step="probe")
+        text = format_path(critical_path(root, [root, child]))
+        assert "query (self)" in text
+        assert "probe (self)" not in text

@@ -1,0 +1,211 @@
+"""Span recorder semantics: parenting, context propagation, bounds, nulls."""
+
+import gc
+import sys
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+)
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def recorder(sim):
+    return SpanRecorder(sim)
+
+
+class TestSpanLifecycle:
+    def test_start_and_end_use_the_virtual_clock(self, sim, recorder):
+        span = recorder.start("op", category="test")
+        assert span.start_ms == sim.now
+        assert not span.finished
+        assert span.duration_ms == 0.0
+        sim.schedule(25.0, lambda: recorder.end(span))
+        sim.run()
+        assert span.finished
+        assert span.end_ms == span.start_ms + 25.0
+        assert span.duration_ms == 25.0
+
+    def test_end_sets_status_and_merges_labels(self, recorder):
+        span = recorder.start("op", site="Virginia")
+        recorder.end(span, status="timeout", attempt=2)
+        assert span.status == "timeout"
+        assert span.labels == {"site": "Virginia", "attempt": 2}
+
+    def test_instant_is_a_zero_duration_point(self, sim, recorder):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        span = recorder.instant("tick", category="event", n=1)
+        assert span.kind == "instant"
+        assert span.start_ms == span.end_ms == sim.now
+        assert span.finished
+
+    def test_spans_filter_by_category(self, recorder):
+        recorder.start("a", category="query")
+        recorder.instant("b", category="fault")
+        assert [s.name for s in recorder.spans("query")] == ["a"]
+        assert [s.name for s in recorder.spans()] == ["a", "b"]
+
+    def test_finished_excludes_open_spans(self, recorder):
+        open_span = recorder.start("open")
+        done = recorder.start("done")
+        recorder.end(done)
+        assert recorder.finished() == [done]
+        assert open_span in recorder.spans()
+
+
+class TestParenting:
+    def test_first_span_is_a_root_of_a_fresh_trace(self, recorder):
+        span = recorder.start("root")
+        assert span.parent_id is None
+        assert span.ctx == (span.trace_id, span.span_id)
+        assert recorder.roots() == [span]
+
+    def test_new_trace_forces_a_root_even_under_a_context(self, recorder):
+        outer = recorder.start("outer")
+        with recorder.use(outer):
+            root = recorder.start("fresh", new_trace=True)
+        assert root.parent_id is None
+        assert root.trace_id != outer.trace_id
+
+    def test_context_stack_parents_nested_spans(self, recorder):
+        outer = recorder.start("outer")
+        with recorder.use(outer):
+            inner = recorder.start("inner")
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        # The stack unwound: the next span is a new root again.
+        assert recorder.start("after").parent_id is None
+
+    def test_explicit_parent_beats_the_stack(self, recorder):
+        a = recorder.start("a")
+        b = recorder.start("b")
+        with recorder.use(b):
+            child = recorder.start("child", parent=a.ctx)
+        assert child.parent_id == a.span_id
+        assert child.trace_id == a.trace_id
+
+    def test_use_accepts_span_tuple_or_none(self, recorder):
+        span = recorder.start("s")
+        with recorder.use(span):
+            assert recorder.current_ctx() == span.ctx
+        with recorder.use(span.ctx):
+            assert recorder.current_ctx() == span.ctx
+        with recorder.use(None):
+            assert recorder.current_ctx() is None
+
+    def test_trace_and_children_index(self, recorder):
+        root = recorder.start("root")
+        with recorder.use(root):
+            kid1 = recorder.start("kid1")
+            kid2 = recorder.instant("kid2")
+        other = recorder.start("other")
+        assert recorder.trace(root.trace_id) == [root, kid1, kid2]
+        index = recorder.children_index()
+        assert index[root.span_id] == [kid1, kid2]
+        assert other.span_id not in index
+
+
+class TestDeterminism:
+    def test_ids_are_per_recorder_not_global(self):
+        def script(recorder):
+            root = recorder.start("root")
+            with recorder.use(root):
+                recorder.start("child")
+            recorder.start("other")
+            return [(s.trace_id, s.span_id, s.parent_id) for s in recorder]
+
+        first = script(SpanRecorder(Simulator()))
+        second = script(SpanRecorder(Simulator()))
+        assert first == second
+        assert first[0] == (1, 1, None)
+
+
+class TestBounds:
+    def test_full_recorder_drops_but_still_returns_a_span(self, sim):
+        recorder = SpanRecorder(sim, max_spans=2)
+        recorder.start("a")
+        recorder.start("b")
+        overflow = recorder.start("c")
+        assert len(recorder) == 2
+        assert recorder.dropped == 1
+        # The caller can still end it without special-casing.
+        recorder.end(overflow, status="ok")
+        assert overflow.finished
+
+    def test_clear_resets_store_stack_and_dropped(self, sim):
+        recorder = SpanRecorder(sim, max_spans=1)
+        span = recorder.start("a")
+        recorder.push_ctx(span.ctx)
+        recorder.start("b")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+        assert recorder.current_ctx() is None
+
+
+class TestNullRecorder:
+    def test_is_disabled_and_records_nothing(self):
+        rec = NULL_RECORDER
+        assert rec.enabled is False
+        span = rec.start("anything", site="X")
+        rec.end(span)
+        rec.instant("event")
+        assert len(rec) == 0
+        assert rec.spans() == []
+        assert rec.finished() == []
+        assert rec.roots() == []
+        assert rec.trace(1) == []
+        assert rec.children_index() == {}
+        assert list(rec) == []
+
+    def test_returns_shared_singletons(self):
+        # Identity, not equality: the disabled path must not allocate.
+        rec = NullRecorder()
+        assert rec.start("a") is NULL_SPAN
+        assert rec.instant("b") is NULL_SPAN
+        assert rec.use(None) is rec.use(NULL_SPAN)
+
+    def test_context_methods_are_safe_noops(self):
+        rec = NULL_RECORDER
+        rec.push_ctx((1, 1))
+        rec.pop_ctx()
+        assert rec.current_ctx() is None
+        with rec.use((1, 1)):
+            pass
+        rec.clear()
+
+    def test_disabled_emit_path_allocates_nothing(self):
+        """The hot-path guard (`if recorder.enabled: ...`) must be free."""
+        rec = NULL_RECORDER
+        payload = {"site": "Virginia"}
+
+        def emit_site():
+            if rec.enabled:
+                rec.instant("pastry.hop", category="pastry", **payload)
+
+        emit_site()  # warm any lazy interpreter state
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            emit_site()
+        gc.collect()
+        after = sys.getallocatedblocks()
+        # 10k emissions through a recording path would allocate >=10k
+        # blocks; the disabled path must stay at the noise floor.
+        assert after - before < 10
+
+
+class TestSpanDataclass:
+    def test_ctx_and_duration_properties(self):
+        span = Span(trace_id=3, span_id=7, parent_id=None, name="x",
+                    category="c", start_ms=10.0, end_ms=16.5)
+        assert span.ctx == (3, 7)
+        assert span.duration_ms == 6.5
+        assert span.finished

@@ -33,6 +33,10 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "faults" / "schedule.py",
     REPO / "src" / "repro" / "faults" / "injector.py",
     REPO / "src" / "repro" / "query" / "backoff.py",
+    REPO / "src" / "repro" / "obs" / "spans.py",
+    REPO / "src" / "repro" / "obs" / "metrics.py",
+    REPO / "src" / "repro" / "obs" / "critical_path.py",
+    REPO / "src" / "repro" / "obs" / "export.py",
 ]
 
 #: Test files that exercise them.
@@ -43,6 +47,10 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_faults_injector.py",
     REPO / "tests" / "test_chaos_properties.py",
     REPO / "tests" / "test_query_predicates_backoff.py",
+    REPO / "tests" / "test_obs_spans.py",
+    REPO / "tests" / "test_obs_metrics.py",
+    REPO / "tests" / "test_obs_critical_path.py",
+    REPO / "tests" / "test_obs_exporters.py",
 ]
 
 
