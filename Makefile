@@ -24,12 +24,15 @@ chaos:
 # Line-coverage floor for the caching subsystem.  When pytest-cov is
 # installed, also print a full term-missing report; the gate itself uses
 # a stdlib tracer (tools/check_coverage.py) so it runs anywhere and
-# fails if cache.py or counters.py drop below 85%.
+# fails if cache.py or counters.py drop below 85%.  The public-API lint
+# (tools/check_api.py) rides along: it fails if repro.__all__, the lazy
+# exports, or the docs table drift.
 coverage:
 	@$(PYTHON) -c "import pytest_cov" 2>/dev/null \
 	  && $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
 	  || echo "pytest-cov not installed; running the stdlib coverage gate only"
 	$(PYTHON) tools/check_coverage.py
+	$(PYTHON) tools/check_api.py
 
 # Observability plane: the span/metric/critical-path test suite, the
 # tracing-overhead ablation, and a demo trace of one multi-site query

@@ -9,7 +9,7 @@ EXPLAIN output a query interface produces for the plan.
 Run:  python examples/hybrid_naming.py
 """
 
-from repro.core import RBay, RBayConfig
+from repro import QueryOptions, RBay, RBayConfig
 from repro.query.plan import plan_query
 from repro.query.sql import parse_query
 
@@ -62,11 +62,14 @@ def main() -> None:
         query = parse_query(sql)
         plan = plan_query(query, plane.context)
         probes = plan.probes_per_site["California"]
-        customer = plane.make_customer("joe", "California")
-        result = customer.query_once(sql).result()
+        result = plane.query(sql, options=QueryOptions(origin="California",
+                                                       caller="joe"))
         print(f"\n{sql}")
         print(f"  probes {len(probes)} tree(s), found {len(result.entries)} node(s)")
-        customer.release_all(result)
+        home = plane.site_nodes("California")[0]
+        for entry in result.entries:  # give everything back between queries
+            home.send_app(entry["address"], "query", "release",
+                          {"query_id": result.query_id})
         plane.sim.run()
 
     print("\nEXPLAIN for the major-attribute query:")

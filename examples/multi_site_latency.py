@@ -10,7 +10,7 @@ structure and the flattening beyond five sites.
 Run:  python examples/multi_site_latency.py
 """
 
-from repro.core import RBay, RBayConfig
+from repro import QueryOptions, RBay, RBayConfig
 from repro.metrics.stats import LatencyRecorder, format_table
 from repro.workloads import FederationWorkload, QueryWorkload, WorkloadSpec
 
@@ -30,10 +30,10 @@ def main() -> None:
         generator = QueryWorkload(
             plane.streams.stream(f"queries-{origin}"), site_names, k=1
         )
-        customer = plane.make_customer(f"user@{origin}", origin)
         for n_sites in range(1, len(site_names) + 1):
             for sql, payload in generator.stream(origin, n_sites, QUERIES_PER_POINT):
-                result = customer.query_once(sql, payload=payload).result()
+                result = plane.query(sql, options=QueryOptions(
+                    origin=origin, caller=f"user@{origin}", payload=payload))
                 recorder.record(f"{origin}/{n_sites}", result.latency_ms)
 
     print("Composite query latency vs. number of requesting sites")

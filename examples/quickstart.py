@@ -8,7 +8,8 @@ paper's Figure 6 composite query across all sites.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import RBay, RBayConfig, password_policy
+from repro import QueryOptions, RBay, RBayConfig
+from repro.core import password_policy
 from repro.core.node import SubscriptionSpec
 from repro.core.naming import site_tree
 
@@ -37,15 +38,18 @@ def main() -> None:
                 admin.post_resource(node, "CPU_model", "Intel Core i7")
     plane.sim.run()  # let joins and aggregates settle
 
-    # 3. Joe (in Virginia) runs the paper's example query across all sites.
-    joe = plane.make_customer("joe", "Virginia")
+    # 3. Joe (in Virginia) runs the paper's example query across all
+    #    sites, through the stable facade: admitted via the bounded
+    #    concurrency window, resolving to a frozen QueryResult.
     sql = (
         "SELECT 5 FROM * "
         "WHERE CPU_model = 'Intel Core i7' AND CPU_utilization < 50% "
         "GROUPBY CPU_utilization ASC;"
     )
     print(f"Query: {sql}")
-    result = joe.query_once(sql, payload={"password": "sesame"}).result()
+    options = QueryOptions(origin="Virginia", caller="joe",
+                           payload={"password": "sesame"})
+    result = plane.query(sql, options=options)
 
     print(f"\nSatisfied: {result.satisfied}  "
           f"(wanted {result.requested}, got {len(result.entries)})")
@@ -57,7 +61,8 @@ def main() -> None:
               f"util={entry['order_value']:.1f}%")
 
     # 4. The wrong password gets nothing — policy runs on the owners' nodes.
-    denied = joe.query_once(sql, payload={"password": "wrong"}).result()
+    denied = plane.query(sql, options=QueryOptions(
+        origin="Virginia", caller="joe", payload={"password": "wrong"}))
     print(f"\nSame query, wrong password: {len(denied.entries)} nodes (policy enforced)")
 
 

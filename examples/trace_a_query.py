@@ -11,7 +11,7 @@ Run:  python examples/trace_a_query.py
 
 from collections import Counter
 
-from repro.core import RBay, RBayConfig
+from repro import QueryOptions, RBay, RBayConfig
 from repro.sim.trace import Tracer
 from repro.workloads import FederationWorkload, WorkloadSpec
 
@@ -30,11 +30,11 @@ def main() -> None:
 
     plane.network.set_delivery_hook(hook)
 
-    customer = plane.make_customer("joe", "Virginia")
     itype = "c3.xlarge"
     sql = f"SELECT 3 FROM * WHERE instance_type = '{itype}' GROUPBY CPU_utilization ASC;"
     print(f"Tracing: {sql}\n")
-    result = customer.query_once(sql, payload={"password": "rbay"}).result()
+    result = plane.query(sql, options=QueryOptions(
+        origin="Virginia", caller="joe", payload={"password": "rbay"}))
     plane.sim.run()
     plane.network.set_delivery_hook(None)
 

@@ -14,8 +14,51 @@ Quick orientation (details in README.md / docs/architecture.md):
 * :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.metrics`,
   :mod:`repro.ext` — baselines, evaluation workloads, measurement, and the
   paper's future-work extensions.
+
+The names in ``__all__`` are the frozen public surface (see
+``docs/architecture.md`` §"Public API & stability"); they resolve lazily
+(PEP 562) so ``import repro`` stays cheap and cycle-free.
 """
+
+from typing import Any
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "RBay",
+    "RBayConfig",
+    "QueryOptions",
+    "QueryResult",
+    "QueryError",
+    "FaultSchedule",
+    "Observability",
+    "__version__",
+]
+
+#: Where each lazily-exported public name actually lives.
+_EXPORTS = {
+    "RBay": "repro.core.plane",
+    "RBayConfig": "repro.core.plane",
+    "QueryOptions": "repro.query.options",
+    "QueryResult": "repro.query.result",
+    "QueryError": "repro.query.errors",
+    "FaultSchedule": "repro.faults.schedule",
+    "Observability": "repro.obs",
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve a public name from its home module on first access."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__() -> list:
+    """Advertise the lazy exports alongside the real module attributes."""
+    return sorted(set(list(globals()) + list(_EXPORTS)))

@@ -7,11 +7,14 @@ Usage (installed as the ``rbay`` console script, or ``python -m repro.cli``):
     rbay explain "SELECT 5 FROM Virginia, Tokyo WHERE GPU = true GROUPBY vcpu DESC;"
     rbay latency --origins Virginia Singapore --queries 20
     rbay trace "SELECT 3 FROM * WHERE instance_type = 'c3.large';"
+    rbay scale --sites 32 --nodes 32 --no-jitter
     rbay lua "return ('rbay'):upper()"
 
-The CLI always builds a workload-dressed simulated federation (the paper's
-eight EC2 sites unless ``--synthetic-sites`` is given); all times shown are
-simulated milliseconds.
+Every federation-building subcommand shares one flag set (``--seed``,
+``--sites``, ``--nodes``, ``--trace-out``, ...) via a common parent
+parser.  The CLI always builds a workload-dressed simulated federation
+(the paper's eight EC2 sites unless ``--sites N`` is given); all times
+shown are simulated milliseconds.
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from typing import List, Optional
 
 from repro.core.plane import RBay, RBayConfig
 from repro.metrics.stats import LatencyRecorder, format_table, mean, stddev
+from repro.query.errors import QueryError
+from repro.query.options import QueryOptions
 from repro.query.plan import plan_query
 from repro.query.sql import parse_query
 from repro.workloads.generator import FederationWorkload, WorkloadSpec
@@ -50,6 +55,7 @@ def _build_plane(args) -> tuple:
         site_retries=getattr(args, "site_retries", 2),
         fault_schedule=_load_fault_schedule(args),
         tracing=tracing,
+        batching=not getattr(args, "no_batching", False),
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
@@ -73,29 +79,39 @@ def _finish_tracing(plane, args) -> None:
               f"({len(plane.obs.recorder)} spans; open in Perfetto)")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=2017, help="master RNG seed")
-    parser.add_argument("--nodes", type=int, default=15, help="nodes per site")
-    parser.add_argument("--synthetic-sites", type=int, default=None,
+def _common_parser() -> argparse.ArgumentParser:
+    """The shared parent parser: one canonical flag set for every
+    federation-building subcommand (``--seed``, ``--sites``, ``--nodes``,
+    ``--trace-out``, ...), attached via ``parents=[...]``."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=2017, help="master RNG seed")
+    common.add_argument("--nodes", type=int, default=15, help="nodes per site")
+    common.add_argument("--sites", "--synthetic-sites", dest="synthetic_sites",
+                        type=int, default=None, metavar="N",
                         help="use N synthetic sites instead of the 8 EC2 sites")
-    parser.add_argument("--no-jitter", action="store_true",
+    common.add_argument("--no-jitter", action="store_true",
                         help="disable latency jitter (fully deterministic)")
-    parser.add_argument("--password", default="rbay",
+    common.add_argument("--password", default="rbay",
                         help="gate password installed by the workload")
-    parser.add_argument("--probe-cache-ms", type=float, default=0.0,
+    common.add_argument("--probe-cache-ms", type=float, default=0.0,
                         help="staleness bound for cached tree-size probes "
                              "(0 disables the probe cache)")
-    parser.add_argument("--no-aggregate-cache", action="store_true",
+    common.add_argument("--no-aggregate-cache", action="store_true",
                         help="disable subtree-accumulator memoization")
-    parser.add_argument("--fault-schedule", default=None, metavar="PATH",
+    common.add_argument("--no-batching", action="store_true",
+                        help="run the unbatched engine ablation (no event "
+                             "batching, delivery coalescing, or roll-up "
+                             "debounce)")
+    common.add_argument("--fault-schedule", default=None, metavar="PATH",
                         help="JSON fault schedule (see repro.faults) installed "
                              "at build time")
-    parser.add_argument("--site-retries", type=int, default=2,
+    common.add_argument("--site-retries", type=int, default=2,
                         help="per-step retry budget for lost query-protocol "
                              "rounds (0 disables retries)")
-    parser.add_argument("--trace-out", default=None, metavar="PATH",
+    common.add_argument("--trace-out", default=None, metavar="PATH",
                         help="enable span tracing and write a Chrome "
                              "trace_event export to PATH (view in Perfetto)")
+    return common
 
 
 def cmd_describe(args) -> int:
@@ -120,9 +136,13 @@ def cmd_describe(args) -> int:
 def cmd_query(args) -> int:
     """Run one SQL query and print the granted nodes (exit 1 if short)."""
     plane, _ = _build_plane(args)
-    customer = plane.make_customer("cli", args.origin)
-    result = customer.query_once(args.sql,
-                                 payload={"password": args.password}).result()
+    try:
+        result = plane.query(args.sql, options=QueryOptions(
+            origin=args.origin, caller="cli",
+            payload={"password": args.password}))
+    except QueryError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
     print(f"satisfied: {result.satisfied}  entries: {len(result.entries)}  "
           f"latency: {result.latency_ms:.1f} ms  "
           f"sites answered: {len(result.sites_answered)}")
@@ -159,10 +179,10 @@ def cmd_latency(args) -> int:
             return 2
         generator = QueryWorkload(plane.streams.stream(f"cli-{origin}"),
                                   site_names, k=1, password=args.password)
-        customer = plane.make_customer(f"cli-{origin}", origin)
         for n_sites in range(1, len(site_names) + 1):
             for sql, payload in generator.stream(origin, n_sites, args.queries):
-                result = customer.query_once(sql, payload=payload).result()
+                result = plane.query(sql, options=QueryOptions(
+                    origin=origin, caller=f"cli-{origin}", payload=payload))
                 recorder.record(f"{origin}/{n_sites}", result.latency_ms)
     rows = []
     for n_sites in range(1, len(site_names) + 1):
@@ -185,15 +205,15 @@ def cmd_trace(args) -> int:
 
     args.force_tracing = True
     plane, _ = _build_plane(args)
-    customer = plane.make_customer("cli", args.origin)
-    result = customer.query_once(args.sql,
-                                 payload={"password": args.password}).result()
+    result = plane.query(args.sql, options=QueryOptions(
+        origin=args.origin, caller="cli",
+        payload={"password": args.password}))
     roots = plane.obs.query_roots()
     if not roots:
         print("no query spans were recorded", file=sys.stderr)
         return 2
-    # The customer may retry a short query; the last root is the attempt
-    # that produced the printed result.
+    # Protocol-step retries can record several roots; the last one is the
+    # attempt that produced the printed result.
     root = roots[-1]
     spans = plane.obs.recorder.trace(root.trace_id)
     segments = critical_path(root, spans)
@@ -211,6 +231,45 @@ def cmd_trace(args) -> int:
         write_json(args.json_out, plane.obs.recorder.spans())
         print(f"wrote JSON span export to {args.json_out}")
     return 0 if result.satisfied else 1
+
+
+def cmd_scale(args) -> int:
+    """Scale push: publish storm + concurrent queries on a big federation."""
+    import json
+
+    from repro.workloads.scale import ScaleSpec, run_scale
+
+    spec = ScaleSpec(
+        sites=args.synthetic_sites if args.synthetic_sites else 8,
+        nodes_per_site=args.nodes,
+        seed=args.seed,
+        duration_ms=args.duration,
+        queries=args.queries,
+        batching=not args.no_batching,
+    )
+    metrics = run_scale(spec)
+    print(f"scale: {metrics['total_nodes']} nodes "
+          f"({spec.sites} sites x {spec.nodes_per_site}), "
+          f"{'batched' if spec.batching else 'unbatched'} engine, "
+          f"seed {spec.seed}")
+    lat = metrics["query_latency_ms"]
+    print(format_table(
+        ["wall s", "events/s", "publishes", "queries", "satisfied",
+         "p50 ms", "p90 ms", "p99 ms"],
+        [[f"{metrics['wall_seconds']:.2f}",
+          f"{metrics['events_per_sec']:,.0f}",
+          f"{metrics['publishes']:,}",
+          metrics["queries_completed"],
+          metrics["queries_satisfied"],
+          f"{lat['p50']:.0f}", f"{lat['p90']:.0f}", f"{lat['p99']:.0f}"]]))
+    print(f"admission: {metrics['admission']['admitted']} admitted, "
+          f"max queue {metrics['admission']['max_queued']}  "
+          f"signature: {metrics['signature'][:16]}…")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics to {args.json_out}")
+    return 0
 
 
 def cmd_lua(args) -> int:
@@ -244,26 +303,26 @@ def build_parser() -> argparse.ArgumentParser:
         description="RBAY federated information plane (simulated)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parser()
 
-    p = sub.add_parser("describe", help="build a federation and summarize it")
-    _add_common(p)
+    p = sub.add_parser("describe", parents=[common],
+                       help="build a federation and summarize it")
     p.set_defaults(fn=cmd_describe)
 
-    p = sub.add_parser("query", help="run one SQL query")
-    _add_common(p)
+    p = sub.add_parser("query", parents=[common], help="run one SQL query")
     p.add_argument("sql", help="the query text")
     p.add_argument("--origin", default="Virginia", help="customer's home site")
     p.add_argument("--show-counters", action="store_true",
                    help="print cache/protocol counters after the query")
     p.set_defaults(fn=cmd_query)
 
-    p = sub.add_parser("explain", help="show the query plan without running it")
-    _add_common(p)
+    p = sub.add_parser("explain", parents=[common],
+                       help="show the query plan without running it")
     p.add_argument("sql", help="the query text")
     p.set_defaults(fn=cmd_explain)
 
-    p = sub.add_parser("latency", help="latency-vs-sites sweep (Fig. 10 style)")
-    _add_common(p)
+    p = sub.add_parser("latency", parents=[common],
+                       help="latency-vs-sites sweep (Fig. 10 style)")
     p.add_argument("--origins", nargs="*", default=None,
                    help="origin sites (default: first three)")
     p.add_argument("--queries", type=int, default=10, help="queries per point")
@@ -271,15 +330,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print cache/protocol counters after the sweep")
     p.set_defaults(fn=cmd_latency)
 
-    p = sub.add_parser("trace",
+    p = sub.add_parser("trace", parents=[common],
                        help="trace one query and print its critical-path "
                             "latency breakdown")
-    _add_common(p)
     p.add_argument("sql", help="the query text")
     p.add_argument("--origin", default="Virginia", help="customer's home site")
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="also write the raw JSON span export to PATH")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("scale", parents=[common],
+                       help="scale benchmark: publish storm + concurrent "
+                            "queries (use --no-batching for the ablation)")
+    p.add_argument("--duration", type=float, default=5_000.0,
+                   help="measured window of simulated time (ms)")
+    p.add_argument("--queries", type=int, default=96,
+                   help="concurrent composite queries in the window")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the full metrics dict to PATH")
+    p.set_defaults(fn=cmd_scale)
 
     p = sub.add_parser("lua", help="run a Luette chunk in the AA sandbox")
     p.add_argument("source", help="chunk text, or '-' to read stdin")

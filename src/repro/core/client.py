@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.node import RBayNode
 from repro.query.backoff import TruncatedExponentialBackoff
+from repro.query.options import QueryOptions
 from repro.query.sql import Query, parse_query
 from repro.sim.futures import Future
 
@@ -72,8 +73,8 @@ class Customer:
     ) -> Future:
         """One attempt, no backoff; resolves to a :class:`QueryResult`."""
         query = parse_query(sql)
-        return self._query_app.execute(self.home, query, payload=payload,
-                                       caller=self.name, timeout=timeout)
+        return self._query_app.execute(self.home, query, QueryOptions(
+            payload=payload, caller=self.name, deadline_ms=timeout))
 
     def request(
         self,
@@ -107,8 +108,8 @@ class Customer:
             if done.resolved:
                 return
             outcome.attempts += 1
-            future = self._query_app.execute(self.home, query, payload=payload,
-                                             caller=self.name)
+            future = self._query_app.execute(self.home, query, QueryOptions(
+                payload=payload, caller=self.name))
             future.add_callback(_on_result)
 
         def _on_result(result: Any) -> None:

@@ -33,9 +33,14 @@ from repro.obs import Observability
 from repro.pastry.leafset import DEFAULT_LEAF_SET_SIZE
 from repro.pastry.nodeid import NodeId
 from repro.pastry.overlay import Overlay
+from repro.query.admission import AdmissionController
 from repro.query.executor import QueryApplication, QueryContext
+from repro.query.options import QueryOptions
+from repro.query.result import QueryResult
+from repro.query.sql import parse_query
 from repro.scribe.scribe import ScribeApplication
 from repro.sim.engine import Simulator
+from repro.sim.futures import Future
 from repro.sim.random_streams import RandomStreams
 
 
@@ -93,6 +98,18 @@ class RBayConfig:
     #: Span-store bound when tracing is on (oldest runs keep everything;
     #: past the bound new spans are counted in ``recorder.dropped``).
     trace_max_spans: int = 200_000
+    #: Master switch for the high-throughput core: batched event-loop
+    #: drain + Event free-list, same-destination delivery coalescing, and
+    #: debounced ``agg_push`` roll-ups.  False is the unbatched ablation
+    #: baseline the scale benchmark compares against.
+    batching: bool = True
+    #: Debounce window (ms) for aggregation roll-ups when batching is on:
+    #: a burst of leaf updates produces one batched parent update per
+    #: interval per node instead of one message per change.
+    agg_flush_ms: float = 50.0
+    #: Bound on concurrently admitted queries through the facade; further
+    #: submissions wait FIFO in the admission queue.
+    query_window: int = 64
 
 
 class RBay:
@@ -101,7 +118,7 @@ class RBay:
     def __init__(self, config: Optional[RBayConfig] = None):
         self.config = config if config is not None else RBayConfig()
         cfg = self.config
-        self.sim = Simulator()
+        self.sim = Simulator(batched=cfg.batching)
         self.streams = RandomStreams(cfg.seed)
         self.registry = self._make_registry(cfg)
         self.latency = self._make_latency(cfg)
@@ -111,6 +128,7 @@ class RBay:
             loss_rate=cfg.loss_rate,
             loss_rng=self.streams.stream("network-loss") if cfg.loss_rate else None,
             processing_ms=cfg.processing_delay_ms,
+            coalesce_delivery=cfg.batching,
         )
         self.hierarchy = AttributeHierarchy()
         #: Federation-wide cache/protocol counters (hit/miss/invalidation).
@@ -133,7 +151,11 @@ class RBay:
             max_step_retries=cfg.site_retries,
             retry_slot_ms=cfg.retry_slot_ms,
             retry_rng=self.streams.stream("query-retry"),
+            _internal=True,
         )
+        #: Bounded in-flight window every facade query is admitted through.
+        self.admission = AdmissionController(self.sim, window=cfg.query_window,
+                                             counters=self.counters)
         self.overlay = Overlay(
             self.sim,
             self.network,
@@ -239,6 +261,8 @@ class RBay:
     def _wire_node(self, node: RBayNode) -> None:
         recorder = self.obs.recorder if self.obs.enabled else None
         scribe = ScribeApplication(self.sim,
+                                   agg_flush_ms=(self.config.agg_flush_ms
+                                                 if self.config.batching else 0.0),
                                    cache_enabled=self.config.aggregate_cache,
                                    counters=self.counters,
                                    recorder=recorder)
@@ -291,6 +315,48 @@ class RBay:
         customer = Customer(name, home, self.streams.stream(f"customer-{name}"), **kwargs)
         self.customers.append(customer)
         return customer
+
+    # ------------------------------------------------------------------
+    # Stable query facade
+    # ------------------------------------------------------------------
+    def _facade_home(self, options: QueryOptions) -> RBayNode:
+        """The query-interface node a facade call coordinates from."""
+        if not self._built:
+            raise RuntimeError("plane not built yet: call build() first")
+        site_name = options.origin
+        if site_name is None:
+            site_name = next(iter(self.registry)).name
+        candidates = self.site_nodes(site_name)
+        if not candidates:
+            raise ValueError(f"no nodes at site {site_name}")
+        return candidates[0]
+
+    def submit(self, sql: str, *, options: Optional[QueryOptions] = None) -> Any:
+        """Admit ``sql`` through the bounded in-flight window.
+
+        Returns a :class:`~repro.sim.futures.Future` resolving to a
+        :class:`~repro.query.result.QueryResult` (or a typed
+        :class:`~repro.query.errors.QueryError`).  At most
+        ``config.query_window`` facade queries execute concurrently; the
+        rest wait FIFO, each with fully isolated per-query state.
+        """
+        opts = options if options is not None else QueryOptions()
+        home = self._facade_home(opts)
+        query = parse_query(sql)
+        app: QueryApplication = home.apps["query"]
+        return self.admission.submit(lambda: app.execute(home, query, opts))
+
+    def query(self, sql: str, *,
+              options: Optional[QueryOptions] = None) -> QueryResult:
+        """Run ``sql`` to completion and return its frozen result.
+
+        The synchronous member of the stable facade: drives the simulator
+        until the admitted query resolves.  Raises the typed
+        :class:`~repro.query.errors.QueryError` if the query fails instead
+        of returning a (possibly ``degraded``) result.
+        """
+        future: Future = self.submit(sql, options=options)
+        return future.result()
 
     # ------------------------------------------------------------------
     # Operation helpers

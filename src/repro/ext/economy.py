@@ -15,12 +15,14 @@ treatment.  This module adds:
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.admin import SiteAdmin
 from repro.core.client import Customer
 from repro.core.node import RBayNode
 from repro.core.policies import rental_price_policy
+from repro.query.options import QueryOptions
 from repro.query.sql import parse_query
 from repro.sim.futures import Future
 
@@ -122,8 +124,8 @@ class CostAwareCustomer(Customer):
         query.order_by = PRICE_ATTRIBUTE
         query.descending = False
         payload = {"budget": self.wallet}
-        future = self._query_app.execute(self.home, query, payload=payload,
-                                         caller=self.name, timeout=timeout)
+        future = self._query_app.execute(self.home, query, QueryOptions(
+            payload=payload, caller=self.name, deadline_ms=timeout))
         done = Future(self.home.sim, timeout=timeout)
 
         def _shop(result: Any) -> None:
@@ -143,10 +145,8 @@ class CostAwareCustomer(Customer):
             for entry in surplus:
                 self.home.send_app(entry["address"], "query", "release",
                                    {"query_id": result.query_id})
-            result.entries = kept
-            result.requested = wanted
-            result.satisfied = wanted is None or len(kept) >= wanted
-            if result.satisfied:
+            satisfied = wanted is None or len(kept) >= wanted
+            if satisfied:
                 self.wallet -= total
                 if self.ledger is not None:
                     for entry in kept:
@@ -158,8 +158,9 @@ class CostAwareCustomer(Customer):
                 for entry in kept:
                     self.home.send_app(entry["address"], "query", "release",
                                        {"query_id": result.query_id})
-                result.entries = []
-            done.try_resolve(result)
+                kept = []
+            done.try_resolve(replace(result, entries=tuple(kept),
+                                     requested=wanted, satisfied=satisfied))
 
         future.add_callback(_shop)
         return done

@@ -11,11 +11,13 @@ over-asks, keeps the most stable k, and releases the rest.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
 from repro.core.client import Customer
 from repro.core.node import RBayNode
 from repro.ext.churn import ChurnPredictor
+from repro.query.options import QueryOptions
 from repro.query.sql import parse_query
 from repro.sim.futures import Future
 
@@ -82,22 +84,21 @@ class StabilityAwareCustomer(Customer):
         wanted = query.k
         if wanted is not None:
             query.k = max(wanted, int(wanted * self.overask))
-        future = self._query_app.execute(self.home, query, payload=payload,
-                                         caller=self.name, timeout=timeout)
+        future = self._query_app.execute(self.home, query, QueryOptions(
+            payload=payload, caller=self.name, deadline_ms=timeout))
         done = Future(self.home.sim, timeout=timeout)
 
         def _trim(result: Any) -> None:
             if isinstance(result, Exception):
                 done.try_resolve(result)
                 return
-            kept, surplus = self.selector.select(result.entries, wanted)
+            kept, surplus = self.selector.select(list(result.entries), wanted)
             for entry in surplus:
                 self.home.send_app(entry["address"], "query", "release",
                                    {"query_id": result.query_id})
-            result.entries = kept
-            result.requested = wanted
-            result.satisfied = wanted is None or len(kept) >= wanted
-            done.try_resolve(result)
+            done.try_resolve(replace(
+                result, entries=tuple(kept), requested=wanted,
+                satisfied=wanted is None or len(kept) >= wanted))
 
         future.add_callback(_trim)
         return done

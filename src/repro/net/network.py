@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.latency import LatencyModel, UniformLatencyModel
 from repro.net.message import Message
@@ -76,10 +76,18 @@ class Network:
         loss_rate: float = 0.0,
         loss_rng: Optional[random.Random] = None,
         processing_ms: float = 0.0,
+        coalesce_delivery: bool = False,
     ):
         if loss_rate and loss_rng is None:
             raise NetworkError("loss_rate requires a loss_rng for determinism")
         self.sim = sim
+        #: When set, messages bound for the same destination at the exact
+        #: same delivery time share one scheduled event: a burst of N
+        #: same-time sends to a host costs one heap operation instead of N.
+        #: Per-message accounting (counters, hooks, trace contexts) is
+        #: unchanged — only the scheduling is shared.
+        self.coalesce_delivery = coalesce_delivery
+        self._pending_batches: Dict[Tuple[int, float], List[Tuple[Message, int]]] = {}
         self.latency = latency if latency is not None else UniformLatencyModel()
         self.loss_rate = loss_rate
         self._loss_rng = loss_rng
@@ -206,7 +214,29 @@ class Network:
             delay = (self.latency.one_way_delay_ms(src.site, dst_host.site)
                      + self.processing_ms + extra_delay)
             self.messages_in_flight += 1
-            self.sim.schedule(delay, self._deliver, dst_address, msg, size)
+            if self.coalesce_delivery:
+                # Exact float equality on the delivery instant is intended:
+                # post() stamps the event with sim.now + delay, so two sends
+                # coalesce iff they would have fired at the identical time.
+                key = (dst_address, self.sim.now + delay)
+                batch = self._pending_batches.get(key)
+                if batch is None:
+                    self._pending_batches[key] = [(msg, size)]
+                    self.sim.post(delay, self._deliver_batch, key)
+                else:
+                    batch.append((msg, size))
+            else:
+                self.sim.post(delay, self._deliver, dst_address, msg, size)
+
+    def _deliver_batch(self, key: Tuple[int, float]) -> None:
+        """Deliver every message coalesced under ``key``, in send order.
+
+        Each message still gets its own full delivery bookkeeping — the
+        batch only shares the heap event.
+        """
+        dst_address = key[0]
+        for msg, size in self._pending_batches.pop(key):
+            self._deliver(dst_address, msg, size)
 
     def _deliver(self, dst_address: int, msg: Message, size: int) -> None:
         self.messages_in_flight -= 1

@@ -5,18 +5,33 @@
 executor probes candidate tree sizes, anycasts the smaller tree with a
 k-entry buffer, lets each member run its predicate + AA authorization
 checks, reserves the accepted nodes, and commits or releases at the end.
+
+The stable surface for callers is :class:`QueryOptions` (keyword-only
+execution knobs), the frozen :class:`QueryResult`, the typed
+:class:`QueryError` family, and :class:`AdmissionController` (the bounded
+in-flight window the plane routes concurrent queries through).
 """
 
+from repro.query.admission import AdmissionController
 from repro.query.backoff import TruncatedExponentialBackoff
-from repro.query.executor import QueryApplication, QueryResult
+from repro.query.errors import QueryAborted, QueryError, QueryTimeout
+from repro.query.executor import QueryApplication
+from repro.query.options import DEFAULT_OPTIONS, QueryOptions
 from repro.query.predicates import Predicate, evaluate
+from repro.query.result import QueryResult
 from repro.query.sql import Query, SQLSyntaxError, parse_query
 
 __all__ = [
+    "AdmissionController",
+    "DEFAULT_OPTIONS",
     "Predicate",
     "Query",
+    "QueryAborted",
     "QueryApplication",
+    "QueryError",
+    "QueryOptions",
     "QueryResult",
+    "QueryTimeout",
     "SQLSyntaxError",
     "TruncatedExponentialBackoff",
     "evaluate",

@@ -1,0 +1,78 @@
+"""Concurrent query admission: a bounded in-flight window.
+
+The workload generators want hundreds of queries outstanding at once, but
+unbounded concurrency lets a burst monopolize the event loop and blow up
+tail latency.  :class:`AdmissionController` is the valve between the two:
+callers submit *thunks* that start a query and return its Future; at most
+``window`` of them run at any instant and the rest wait in FIFO order.
+Each admitted query keeps its own fully isolated state (futures, request
+ids, reservations are all per-query already), so admissions never share
+mutable protocol state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.metrics.counters import CounterRegistry
+from repro.sim.engine import Simulator
+from repro.sim.futures import Future
+
+
+class AdmissionController:
+    """FIFO admission valve keeping at most ``window`` queries in flight."""
+
+    def __init__(self, sim: Simulator, window: int = 64,
+                 counters: Optional[CounterRegistry] = None):
+        if window < 1:
+            raise ValueError(f"admission window must be >= 1 (got {window})")
+        self.sim = sim
+        self.window = window
+        self.counters = counters
+        self._in_flight = 0
+        self._queue: Deque[Tuple[Callable[[], Future], Future]] = deque()
+        #: Lifetime admissions (diagnostics / benchmark accounting).
+        self.admitted = 0
+        #: High-water mark of the wait queue.
+        self.max_queued = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Queries currently admitted and not yet resolved."""
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Submissions waiting for a window slot."""
+        return len(self._queue)
+
+    def submit(self, start: Callable[[], Future]) -> Future:
+        """Queue ``start`` for admission; resolves with the query's result.
+
+        ``start`` is invoked (inside the event loop) only once a window
+        slot is free; its Future's resolution value — result or typed
+        error — is forwarded verbatim to the returned Future.
+        """
+        done = Future(self.sim)
+        self._queue.append((start, done))
+        self.max_queued = max(self.max_queued, len(self._queue))
+        self._pump()
+        return done
+
+    def _pump(self) -> None:
+        """Admit queued submissions while window slots are free."""
+        while self._in_flight < self.window and self._queue:
+            start, done = self._queue.popleft()
+            self._in_flight += 1
+            self.admitted += 1
+            if self.counters is not None:
+                self.counters.increment("query.admitted")
+            inner = start()
+
+            def _finish(value: Any, done: Future = done) -> None:
+                self._in_flight -= 1
+                done.try_resolve(value)
+                self._pump()
+
+            inner.add_callback(_finish)

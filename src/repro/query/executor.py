@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.net.message import Message
@@ -30,7 +31,9 @@ from repro.obs import Observability
 from repro.pastry.node import Application
 from repro.query.backoff import TruncatedExponentialBackoff
 from repro.query.errors import QueryTimeout
+from repro.query.options import QueryOptions
 from repro.query.predicates import Predicate
+from repro.query.result import QueryResult
 from repro.query.sql import Query
 from repro.scribe.cache import TTLCache
 from repro.sim.engine import Simulator
@@ -43,9 +46,18 @@ _request_ids = itertools.count(1)
 UNBOUNDED_K = 1_000_000
 
 
+#: Sentinel distinguishing "argument omitted" from an explicit None in the
+#: deprecated ``execute(...)`` keyword shim.
+_UNSET: Any = object()
+
+
 @dataclass
-class QueryResult:
-    """Outcome of one query execution (a single attempt, before backoff)."""
+class _ResultDraft:
+    """Mutable scratchpad the executor fills in while a query runs.
+
+    Frozen into the public :class:`~repro.query.result.QueryResult` at
+    resolution time — callers never see the draft.
+    """
 
     query_id: int
     entries: List[Dict[str, Any]] = field(default_factory=list)
@@ -56,22 +68,28 @@ class QueryResult:
     sites_queried: List[str] = field(default_factory=list)
     sites_answered: List[str] = field(default_factory=list)
     tree_sizes: Dict[str, int] = field(default_factory=dict)
-    #: Members visited by the anycast DFS, across all sites (protocol cost).
     visited_members: int = 0
-    #: True when at least one target site never answered (after retries):
-    #: the entries are a partial view of the federation, not a full one.
     degraded: bool = False
-    #: Sites that failed to answer within the retry budget.
     failed_sites: List[str] = field(default_factory=list)
-    #: Protocol-step retries spent assembling this result (probe/anycast/site).
     retries: int = 0
 
-    @property
-    def latency_ms(self) -> float:
-        return self.finished_at - self.started_at
-
-    def node_ids(self) -> List[int]:
-        return [entry["node_id"] for entry in self.entries]
+    def freeze(self) -> QueryResult:
+        """Snapshot the draft into an immutable public result."""
+        return QueryResult(
+            query_id=self.query_id,
+            entries=tuple(self.entries),
+            requested=self.requested,
+            satisfied=self.satisfied,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            sites_queried=tuple(self.sites_queried),
+            sites_answered=tuple(self.sites_answered),
+            tree_sizes=dict(self.tree_sizes),
+            visited_members=self.visited_members,
+            degraded=self.degraded,
+            failed_sites=tuple(self.failed_sites),
+            retries=self.retries,
+        )
 
 
 class QueryContext:
@@ -79,6 +97,12 @@ class QueryContext:
 
     Holds what the paper distributes out-of-band: the site list, each
     site's boundary routers, and the hybrid naming catalog.
+
+    .. deprecated::
+        QueryContext is internal plumbing: the plane builds exactly one and
+        wires it everywhere.  Direct construction emits a
+        ``DeprecationWarning`` — go through :class:`repro.core.plane.RBay`
+        and its ``query``/``submit`` facade instead.
     """
 
     def __init__(
@@ -94,8 +118,15 @@ class QueryContext:
         max_step_retries: int = 2,
         retry_slot_ms: float = 50.0,
         retry_rng: Optional[random.Random] = None,
+        _internal: bool = False,
     ):
         from repro.core.naming import AttributeHierarchy  # lazy: avoids cycle
+
+        if not _internal:
+            warnings.warn(
+                "constructing QueryContext directly is deprecated; build an "
+                "RBay plane and use its query()/submit() facade",
+                DeprecationWarning, stacklevel=2)
 
         self.sim = sim
         self.site_names = list(site_names)
@@ -123,18 +154,28 @@ class QueryContext:
     def set_gateway(self, site_name: str, address: int) -> None:
         self.gateways[site_name] = address
 
-    def step_backoff(self) -> TruncatedExponentialBackoff:
-        """A fresh backoff sized to the per-step retry budget."""
+    def step_backoff(self, retries: Optional[int] = None) -> TruncatedExponentialBackoff:
+        """A fresh backoff sized to the per-step retry budget.
+
+        ``retries`` overrides the context-wide ``max_step_retries`` for one
+        query (the :class:`~repro.query.options.QueryOptions.retries` knob).
+        """
+        budget = self.max_step_retries if retries is None else retries
         return TruncatedExponentialBackoff(
             self.retry_rng, slot_ms=self.retry_slot_ms,
-            max_attempts=self.max_step_retries + 1)
+            max_attempts=budget + 1)
+
+    def deadline_for(self, retries: Optional[int] = None) -> float:
+        """Overall fan-out deadline: room for every retry round to finish."""
+        budget_rounds = (self.max_step_retries if retries is None else retries) + 1
+        budget = self.site_timeout_ms * budget_rounds
+        slack = self.retry_slot_ms * (1 << min(budget_rounds, 8))
+        return budget + slack
 
     @property
     def query_deadline_ms(self) -> float:
-        """Overall fan-out deadline: room for every retry round to finish."""
-        budget = self.site_timeout_ms * (self.max_step_retries + 1)
-        slack = self.retry_slot_ms * (1 << min(self.max_step_retries + 1, 8))
-        return budget + slack
+        """Fan-out deadline under the context-default retry budget."""
+        return self.deadline_for()
 
     def candidate_trees(self, predicate: Predicate) -> List[str]:
         """Tree names to search for one predicate (hybrid expansion)."""
@@ -183,30 +224,51 @@ class QueryApplication(Application):
         self,
         node: "RBayNode",
         query: Query,
-        payload: Optional[Dict[str, Any]] = None,
-        caller: Optional[str] = None,
-        timeout: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
+        *,
+        payload: Any = _UNSET,
+        caller: Any = _UNSET,
+        timeout: Any = _UNSET,
     ) -> Future:
         """Run ``query`` from ``node``; resolves to a :class:`QueryResult`.
 
+        Execution knobs travel in ``options`` (a frozen
+        :class:`~repro.query.options.QueryOptions`).  The old ``payload``/
+        ``caller``/``timeout`` keyword arguments still work but emit a
+        ``DeprecationWarning`` and are folded into the options bundle.
+
         Failure contract: the future resolves to a QueryResult — possibly
         ``degraded=True`` with the unreachable sites listed — or, when the
-        caller's ``timeout`` elapses first, to a typed :class:`QueryTimeout`.
+        caller's deadline elapses first, to a typed :class:`QueryTimeout`.
         It never resolves to a raw FutureTimeout, and reservations taken by
         any site are settled (committed or released) on every path,
         including late answers that arrive after the query concluded.
         """
+        opts = options if options is not None else QueryOptions()
+        legacy = {key: value for key, value in
+                  (("payload", payload), ("caller", caller),
+                   ("deadline_ms", timeout)) if value is not _UNSET}
+        if legacy:
+            warnings.warn(
+                "execute(payload=/caller=/timeout=) keywords are deprecated; "
+                "pass QueryOptions(payload=..., caller=..., deadline_ms=...)",
+                DeprecationWarning, stacklevel=2)
+            opts = replace(opts, **legacy)
+        if opts.k is not None:
+            query = replace(query, k=opts.k)
+        retries = opts.retries
         sim = self.context.sim
         query_id = next(_query_ids)
-        result = QueryResult(
+        result = _ResultDraft(
             query_id=query_id,
             requested=query.k,
             started_at=sim.now,
         )
         target_sites = query.sites if query.sites is not None else self.context.site_names
         result.sites_queried = list(target_sites)
-        done = Future(sim, timeout=timeout, timeout_value=lambda: QueryTimeout(
-            query_id, timeout))
+        done = Future(sim, timeout=opts.deadline_ms,
+                      timeout_value=lambda: QueryTimeout(
+                          query_id, opts.deadline_ms))
 
         rec = self.obs.recorder
         root_span = None
@@ -222,15 +284,18 @@ class QueryApplication(Application):
         with rec.use(root_span):
             for site_name in target_sites:
                 if site_name == node.site.name:
-                    future = self._run_site(node, query_id, query, payload, caller)
+                    future = self._run_site(node, query_id, query,
+                                            opts.payload, opts.caller,
+                                            retries=retries)
                 else:
                     gateway = self.context.gateways.get(site_name)
                     if gateway is None:
                         continue
                     future = self._ask_remote_site(
-                        node, gateway, query_id, query, payload, caller,
-                        retries_used, site_name=site_name,
-                        parent_ctx=None if root_span is None else root_span.ctx)
+                        node, gateway, query_id, query, opts.payload,
+                        opts.caller, retries_used, site_name=site_name,
+                        parent_ctx=None if root_span is None else root_span.ctx,
+                        retries=retries)
                 future.add_callback(self._tag_site(answered, site_name))
                 site_futures.append(future)
                 fanned_out.append(site_name)
@@ -281,10 +346,10 @@ class QueryApplication(Application):
                 # one is fed by the step spans underneath this root.
                 self.obs.metrics.histogram("query.duration_ms").observe(
                     root_span.duration_ms, site=node.site.name)
-            done.try_resolve(result)
+            done.try_resolve(result.freeze())
 
         gather(sim, site_futures,
-               timeout=self.context.query_deadline_ms).add_callback(_merge)
+               timeout=self.context.deadline_for(retries)).add_callback(_merge)
         return done
 
     @staticmethod
@@ -335,16 +400,19 @@ class QueryApplication(Application):
                          caller: Optional[str],
                          retries_used: Optional[List[int]] = None,
                          site_name: Optional[str] = None,
-                         parent_ctx=None) -> Future:
+                         parent_ctx=None,
+                         retries: Optional[int] = None) -> Future:
         """Send a site_query to ``gateway``, retrying lost rounds.
 
         Each attempt uses a fresh request id with its own per-attempt
         timeout; a reply to a timed-out attempt hits the orphan path in
         :meth:`host_message` and has its reservations released there.
+        ``retries`` is the per-query budget override, also carried in the
+        site_query payload so the remote executor honours it too.
         """
         sim = self.context.sim
         done = Future(sim)
-        backoff = self.context.step_backoff()
+        backoff = self.context.step_backoff(retries)
         rec = self.obs.recorder
         remote = site_name if site_name is not None else str(gateway)
 
@@ -373,6 +441,7 @@ class QueryApplication(Application):
                     "payload": payload,
                     "caller": caller,
                     "origin": node.address,
+                    "retries": retries,
                 })
 
             def _on_reply(value: Any) -> None:
@@ -413,7 +482,8 @@ class QueryApplication(Application):
     # Site executor (steps 1-5 inside one site)
     # ------------------------------------------------------------------
     def _run_site(self, node: "RBayNode", query_id: int, query: Query,
-                  payload: Optional[Dict[str, Any]], caller: Optional[str]) -> Future:
+                  payload: Optional[Dict[str, Any]], caller: Optional[str],
+                  retries: Optional[int] = None) -> Future:
         return self._site_query_dnf(
             node, query_id,
             k=query.k,
@@ -421,12 +491,14 @@ class QueryApplication(Application):
             order_by=query.order_by,
             payload=payload,
             caller=caller,
+            retries=retries,
         )
 
     def _site_query_dnf(self, node: "RBayNode", query_id: int, k: Optional[int],
                         where: List[List[Predicate]], order_by: Optional[str],
                         payload: Optional[Dict[str, Any]],
-                        caller: Optional[str]) -> Future:
+                        caller: Optional[str],
+                        retries: Optional[int] = None) -> Future:
         """Run each disjunct of a DNF WHERE clause and union the results.
 
         A node satisfying several disjuncts appears once (reservations are
@@ -436,11 +508,11 @@ class QueryApplication(Application):
         if len(where) <= 1:
             return self._site_query(node, query_id, k,
                                     where[0] if where else [],
-                                    order_by, payload, caller)
+                                    order_by, payload, caller, retries=retries)
         done = Future(sim)
         branches = [
             self._site_query(node, query_id, k, conjunction, order_by,
-                             payload, caller)
+                             payload, caller, retries=retries)
             for conjunction in where
         ]
 
@@ -468,7 +540,8 @@ class QueryApplication(Application):
 
     def _site_query(self, node: "RBayNode", query_id: int, k: Optional[int],
                     predicates: List[Predicate], order_by: Optional[str],
-                    payload: Optional[Dict[str, Any]], caller: Optional[str]) -> Future:
+                    payload: Optional[Dict[str, Any]], caller: Optional[str],
+                    retries: Optional[int] = None) -> Future:
         from repro.core.naming import site_tree  # lazy: avoids cycle
 
         sim = self.context.sim
@@ -515,7 +588,7 @@ class QueryApplication(Application):
             rec.instant("query.probe_cache_hit", category="query",
                         parent=exec_ctx, site=site_name, addr=node.address,
                         topics=len(size_of))
-        probe_backoff = self.context.step_backoff()
+        probe_backoff = self.context.step_backoff(retries)
 
         def _probe_round(topics_left: List[str]) -> None:
             probe_span = None
@@ -613,7 +686,7 @@ class QueryApplication(Application):
                 "entries": [],
             }
             self._anycast_chain(node, topics, state, size_of, done,
-                                parent=exec_ctx)
+                                parent=exec_ctx, retries=retries)
 
         if to_probe:
             _probe_round(to_probe)
@@ -626,7 +699,7 @@ class QueryApplication(Application):
     def _anycast_chain(self, node: "RBayNode", topics: List[str], state: Dict[str, Any],
                        tree_sizes: Dict[str, int], done: Future,
                        backoff: Optional[TruncatedExponentialBackoff] = None,
-                       parent=None) -> None:
+                       parent=None, retries: Optional[int] = None) -> None:
         """Step 4: anycast trees in ascending-size order until k filled.
 
         A lost anycast (dropped message, crashed member mid-DFS) is retried
@@ -642,7 +715,7 @@ class QueryApplication(Application):
             return
         topic, rest = topics[0], topics[1:]
         if backoff is None:
-            backoff = self.context.step_backoff()
+            backoff = self.context.step_backoff(retries)
         rec = self.obs.recorder
         span = None
         if rec.enabled:
@@ -680,7 +753,7 @@ class QueryApplication(Application):
                 # Budget spent on this tree: fall through to the next one
                 # (fresh budget — failures are per-tree, not per-chain).
                 self._anycast_chain(node, rest, state, tree_sizes, done,
-                                    parent=parent)
+                                    parent=parent, retries=retries)
                 return
             if rec.enabled:
                 self.obs.end_step(
@@ -691,7 +764,7 @@ class QueryApplication(Application):
             state["visited_total"] = (state.get("visited_total", 0)
                                       + result.get("visited_members", 0))
             self._anycast_chain(node, rest, state, tree_sizes, done,
-                                parent=parent)
+                                parent=parent, retries=retries)
 
         with rec.use(span):
             node.scribe.anycast(node, topic, state,
@@ -739,6 +812,7 @@ class QueryApplication(Application):
             future = self._site_query_dnf(
                 node, data["query_id"], data["k"], where,
                 data.get("order_by"), data.get("payload"), data.get("caller"),
+                retries=data.get("retries"),
             )
 
             def _reply(site_result: Any) -> None:

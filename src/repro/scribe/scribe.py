@@ -41,7 +41,7 @@ class TopicState:
     __slots__ = (
         "topic", "key", "scope", "parent", "former_parent", "is_root", "member",
         "children", "local", "child_acc", "last_pushed",
-        "dirty", "flush_event",
+        "dirty",
     )
 
     def __init__(self, topic: str, key: NodeId, scope: str = "global"):
@@ -61,11 +61,11 @@ class TopicState:
         self.local: Dict[str, Any] = {}
         self.child_acc: Dict[str, Dict[int, Any]] = {}
         self.last_pushed: Dict[str, Any] = {}
-        # Names whose accumulator changed since the last flush, plus the
-        # pending coalescing-flush timer (in-network aggregation batches
-        # updates so a parent pushes once per wave, not once per child).
+        # Names whose accumulator changed since the last flush (in-network
+        # aggregation batches updates so a parent pushes once per wave, not
+        # once per child); the flush timer itself is node-level, on the
+        # owning ScribeApplication.
         self.dirty: set = set()
-        self.flush_event = None
 
     def in_tree(self) -> bool:
         return self.is_root or self.parent is not None or bool(self.children) or self.member
@@ -101,6 +101,12 @@ class ScribeApplication(Application):
         self.agg_flush_ms = agg_flush_ms
         self.functions = dict(AGGREGATE_FUNCTIONS if functions is None else functions)
         self._topics: Dict[str, TopicState] = {}
+        # Debounce bookkeeping: topics with dirty aggregates awaiting the
+        # node-level flush timer.  One timer and one "agg_push_batch"
+        # message per parent per flush interval replaces the old
+        # per-(topic, aggregate) "agg_push" storm.
+        self._dirty_topics: Dict[str, TopicState] = {}
+        self._flush_event = None
         self._pending: Dict[int, Future] = {}
         # In-flight pull aggregations at this node: pull_id -> bookkeeping.
         self._pulls: Dict[int, Dict[str, Any]] = {}
@@ -501,6 +507,8 @@ class ScribeApplication(Application):
             self._on_pull_up(node, data)
         elif kind == "agg_push":
             self._on_agg_push(node, data, msg.payload["origin"])
+        elif kind == "agg_push_batch":
+            self._on_agg_push_batch(node, data, msg.payload["origin"])
         elif kind == "agg_value":
             # Write-through refresh: every answer that travels back —
             # pushed-state reads and on-demand pulls alike — re-arms the
@@ -761,29 +769,62 @@ class ScribeApplication(Application):
         if not state.dirty:
             return
         if self.agg_flush_ms <= 0:
-            self._flush(node, state)
-        elif state.flush_event is None or state.flush_event.cancelled:
-            state.flush_event = self.sim.schedule(
-                self.agg_flush_ms, self._flush, node, state
+            # Undebounced ablation path: every change cascades immediately
+            # as an individual "agg_push" (the pre-batching behaviour).
+            self._flush_topic(node, state)
+            return
+        self._dirty_topics[state.topic] = state
+        if self._flush_event is None or self._flush_event.cancelled:
+            self._flush_event = self.sim.schedule(
+                self.agg_flush_ms, self._flush_all, node
             )
 
-    def _flush(self, node: PastryNode, state: TopicState) -> None:
-        if state.flush_event is not None:
-            state.flush_event.cancel()
-            state.flush_event = None
+    def _changed_accs(self, state: TopicState) -> List[tuple]:
+        """Drain ``state.dirty`` into ``(agg_name, acc)`` pairs that actually
+        changed since the last push (parent-directed dedup applied)."""
         dirty, state.dirty = state.dirty, set()
-        for agg_name in dirty:
+        changed = []
+        for agg_name in sorted(dirty):
             acc = self._own_acc(state, agg_name)
             if state.parent is None:
                 continue
             if state.last_pushed.get(agg_name) == acc:
                 continue
             state.last_pushed[agg_name] = acc
+            changed.append((agg_name, acc))
+        return changed
+
+    def _flush_topic(self, node: PastryNode, state: TopicState) -> None:
+        """Push one ``agg_push`` per changed aggregate of one topic."""
+        for agg_name, acc in self._changed_accs(state):
             if node.network.has_host(state.parent):
                 node.send_app(state.parent, self.name, "agg_push", {
                     "topic": state.topic, "agg": agg_name, "acc": acc,
                     "child": self._packed_self(node),
                 })
+
+    def _flush_all(self, node: PastryNode) -> None:
+        """Node-level debounced flush: roll every dirty topic's changed
+        accumulators into one ``agg_push_batch`` message per parent.
+
+        A burst of leaf updates inside the flush window therefore costs
+        each interior node one upstream message per interval, however many
+        topics and aggregates changed.
+        """
+        self._flush_event = None
+        dirty_topics, self._dirty_topics = self._dirty_topics, {}
+        batches: Dict[int, List[Dict[str, Any]]] = {}
+        for state in dirty_topics.values():
+            for agg_name, acc in self._changed_accs(state):
+                if node.network.has_host(state.parent):
+                    batches.setdefault(state.parent, []).append({
+                        "topic": state.topic, "agg": agg_name, "acc": acc,
+                    })
+        packed = self._packed_self(node)
+        for parent, updates in batches.items():
+            node.send_app(parent, self.name, "agg_push_batch", {
+                "child": packed, "updates": updates,
+            })
 
     def _repush_all(self, node: PastryNode, state: TopicState) -> None:
         state.last_pushed.clear()
@@ -805,3 +846,11 @@ class ScribeApplication(Application):
         state.child_acc.setdefault(agg_name, {})[child_addr] = acc
         self._recompute_and_push(node, state, only=agg_name)
         self._notify_tree_change(state.topic)
+
+    def _on_agg_push_batch(self, node: PastryNode, data: Dict[str, Any],
+                           child_addr: int) -> None:
+        """Unpack a debounced batch: each update gets the full single-push
+        treatment (re-adoption, accumulator install, upward re-dirtying)."""
+        child = data["child"]
+        for update in data["updates"]:
+            self._on_agg_push(node, {**update, "child": child}, child_addr)

@@ -5,6 +5,14 @@ priority queue of scheduled callbacks.  Components never sleep or spawn
 threads; they schedule callbacks at future virtual times and the single
 event loop executes them in time order.  Ties are broken by insertion
 order, which keeps runs deterministic.
+
+Two execution cores share those semantics.  The default *batched* core
+drains every callback sharing a timestamp in one tight pass and recycles
+fire-and-forget :class:`Event` objects through a free-list; the *legacy*
+core (``Simulator(batched=False)``) re-evaluates its stop conditions
+before every single pop.  Both execute the identical (time, seq) order,
+so a seed replays byte-identically on either — the flag exists for the
+scale benchmark's batching ablation.
 """
 
 from __future__ import annotations
@@ -12,6 +20,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, Optional
+
+#: Upper bound on the recycled-Event free-list; beyond this, executed
+#: pooled events are left to the garbage collector.
+_POOL_LIMIT = 65_536
 
 
 class SimulationError(RuntimeError):
@@ -23,9 +35,13 @@ class Event:
 
     Events support cancellation: a cancelled event stays in the heap but is
     skipped when popped (lazy deletion), which keeps ``cancel`` O(1).
+
+    ``pooled`` marks events created by :meth:`Simulator.post`: no handle
+    escapes to callers, so after execution the object is recycled through
+    the simulator's free-list instead of being garbage collected.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "pooled")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -33,6 +49,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.pooled = False
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call more than once."""
@@ -53,15 +70,22 @@ class Simulator:
     ----------
     start_time:
         Initial virtual time in milliseconds.
+    batched:
+        Select the batched execution core (timestamp batch-drain + Event
+        free-list).  ``False`` runs the legacy per-event loop — the
+        unbatched ablation baseline.  Scheduling semantics and execution
+        order are identical either way.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, batched: bool = True):
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
         self._running = False
         self._step_hook: Optional[Callable[[float, int], None]] = None
+        self.batched = batched
+        self._pool: list[Event] = []
 
     def set_step_hook(self, hook: Optional[Callable[[float, int], None]]) -> None:
         """Install an observer called with ``(time, seq)`` before each event
@@ -104,6 +128,40 @@ class Simulator:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
         return self.schedule(time - self._now, callback, *args)
 
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget scheduling through the Event free-list.
+
+        Unlike :meth:`schedule` no handle is returned, so the event cannot
+        be cancelled — in exchange the Event object is recycled after it
+        runs, which removes the allocation from hot paths (message
+        delivery schedules millions of these in the scale workloads).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not self.batched:
+            # Ablation baseline: no free-list, identical to schedule().
+            self.schedule(delay, callback, *args)
+            return
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = self._now + delay
+            event.seq = next(self._seq)
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(self._now + delay, next(self._seq), callback, args)
+            event.pooled = True
+        heapq.heappush(self._heap, event)
+
+    def _recycle(self, event: Event) -> None:
+        """Return an executed pooled event to the free-list (refs cleared)."""
+        event.callback = None
+        event.args = ()
+        if len(self._pool) < _POOL_LIMIT:
+            self._pool.append(event)
+
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
         """Run ``callback(*args)`` at the current virtual time, after pending work."""
         return self.schedule(0.0, callback, *args)
@@ -131,6 +189,8 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if event.pooled:
+                    self._recycle(event)
                 continue
             if event.time < self._now - 1e-9:
                 raise SimulationError("event heap corrupted: time moved backwards")
@@ -138,7 +198,10 @@ class Simulator:
             self._events_executed += 1
             if self._step_hook is not None:
                 self._step_hook(event.time, event.seq)
-            event.callback(*event.args)
+            callback, args = event.callback, event.args
+            if event.pooled:
+                self._recycle(event)
+            callback(*args)
             return True
         return False
 
@@ -156,29 +219,95 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
-        executed = 0
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    self._now = max(self._now, until)
-                    return
+            if self.batched:
+                self._run_batched(until, max_events)
+            else:
+                self._run_legacy(until, max_events)
+        finally:
+            self._running = False
+
+    def _run_batched(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """Batched core: drain every runnable event sharing a timestamp in
+        one inner pass, so the stop conditions and heap-head inspection are
+        paid once per distinct virtual time instead of once per event.
+        Execution order is the identical (time, seq) order the legacy loop
+        produces."""
+        executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        recycle = self._recycle
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                pop(heap)
+                if head.pooled:
+                    recycle(head)
+                continue
+            batch_time = head.time
+            if until is not None and batch_time > until:
+                self._now = max(self._now, until)
+                return
+            self._now = batch_time
+            # Events posted during the batch at the same timestamp join it;
+            # tie-break order is preserved because the heap orders by seq.
+            while heap and heap[0].time == batch_time:
                 if max_events is not None and executed >= max_events:
                     return
-                heapq.heappop(self._heap)
-                self._now = event.time
+                event = pop(heap)
+                if event.cancelled:
+                    if event.pooled:
+                        recycle(event)
+                    continue
                 self._events_executed += 1
                 executed += 1
                 if self._step_hook is not None:
-                    self._step_hook(event.time, event.seq)
-                event.callback(*event.args)
-            if until is not None:
+                    self._step_hook(batch_time, event.seq)
+                callback, args = event.callback, event.args
+                if event.pooled:
+                    recycle(event)
+                callback(*args)
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def _run_legacy(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """Per-event core: re-checks every stop condition before each pop.
+        Kept as the unbatched ablation baseline for the scale benchmark."""
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
                 self._now = max(self._now, until)
-        finally:
-            self._running = False
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            heapq.heappop(self._heap)
+            self._now = event.time
+            self._events_executed += 1
+            executed += 1
+            if self._step_hook is not None:
+                self._step_hook(event.time, event.seq)
+            event.callback(*event.args)
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_for(self, duration: float) -> None:
+        """Advance the clock by ``duration`` ms, executing everything due.
+
+        Equivalent to ``run(until=now + duration)`` — the clock always ends
+        exactly ``duration`` later even if the queue drains early.
+        """
+        if duration < 0:
+            raise SimulationError(f"cannot run for a negative duration ({duration})")
+        self.run(until=self._now + duration)
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Drain the queue completely (no deadline), leaving the clock at the
+        last executed event's time.  ``max_events`` is the usual safety valve."""
+        self.run(max_events=max_events)
 
     def run_until(
         self,

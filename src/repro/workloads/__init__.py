@@ -7,13 +7,16 @@ from repro.workloads.ec2 import (
 )
 from repro.workloads.generator import FederationWorkload, WorkloadSpec
 from repro.workloads.queries import QueryWorkload, composite_query
+from repro.workloads.scale import ScaleSpec, run_scale
 
 __all__ = [
     "EC2_INSTANCE_TYPES",
     "FederationWorkload",
     "INSTANCE_SPECS",
     "QueryWorkload",
+    "ScaleSpec",
     "WorkloadSpec",
     "composite_query",
     "gaussian_tree_assignment",
+    "run_scale",
 ]

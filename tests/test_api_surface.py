@@ -1,0 +1,151 @@
+"""The frozen public API: import surface, facade round-trip, deprecations."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro import QueryOptions, QueryResult, RBay, RBayConfig
+from repro.query.executor import QueryContext
+from repro.query.sql import parse_query
+from repro.workloads.generator import FederationWorkload, WorkloadSpec
+
+
+class TestImportSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_dir_advertises_the_surface(self):
+        listed = dir(repro)
+        for name in repro.__all__:
+            assert name in listed
+
+    def test_unknown_name_raises_attribute_error(self):
+        with pytest.raises(AttributeError):
+            repro.NoSuchExport
+
+    def test_version_is_a_plain_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_query_package_all_resolves(self):
+        import repro.query as query_pkg
+
+        for name in query_pkg.__all__:
+            assert getattr(query_pkg, name) is not None
+
+
+@pytest.fixture(scope="module")
+def small_plane():
+    """A dressed 2-site synthetic plane for facade round-trips."""
+    plane = RBay(RBayConfig(seed=11, nodes_per_site=8, synthetic_sites=2,
+                            jitter=False, query_window=2)).build()
+    workload = FederationWorkload(plane, WorkloadSpec(
+        gate_policies=False, utilization_thresholds=(),
+        active_subscriptions=False)).apply()
+    plane.sim.run()
+    return plane, workload
+
+
+class TestFacadeRoundTrip:
+    def test_query_returns_frozen_result(self, small_plane):
+        plane, workload = small_plane
+        counts = workload.site_instance_population("Site000")
+        itype = max(counts, key=counts.get)
+        result = plane.query(
+            f"SELECT 1 FROM * WHERE instance_type = '{itype}';",
+            options=QueryOptions(origin="Site000", caller="api-test"))
+        assert isinstance(result, QueryResult)
+        assert result.satisfied and len(result.entries) == 1
+        assert result.entries[0]["site"] in ("Site000", "Site001")
+        assert result.latency_ms > 0.0
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.satisfied = False
+        # Give the node back so later tests see a clean plane.
+        home = plane.site_nodes("Site000")[0]
+        for entry in result.entries:
+            home.send_app(entry["address"], "query", "release",
+                          {"query_id": result.query_id})
+        plane.sim.run()
+
+    def test_submit_admits_through_the_window(self, small_plane):
+        plane, workload = small_plane
+        counts = workload.site_instance_population("Site001")
+        itype = max(counts, key=counts.get)
+        sql = f"SELECT 1 FROM Site001 WHERE instance_type = '{itype}';"
+        admitted_before = plane.admission.admitted
+        futures = [plane.submit(sql, options=QueryOptions(
+            origin="Site001", caller=f"burst-{i}")) for i in range(4)]
+        # window=2: the other two wait in FIFO order.
+        assert plane.admission.in_flight == 2
+        assert plane.admission.queued == 2
+        results = [f.result() for f in futures]
+        assert plane.admission.admitted == admitted_before + 4
+        assert plane.admission.in_flight == 0
+        for result in results:
+            home = plane.site_nodes("Site001")[0]
+            for entry in result.entries:
+                home.send_app(entry["address"], "query", "release",
+                              {"query_id": result.query_id})
+        plane.sim.run()
+
+    def test_options_k_overrides_the_parsed_k(self, small_plane):
+        plane, workload = small_plane
+        counts = workload.site_instance_population("Site000")
+        itype = max(counts, key=counts.get)
+        result = plane.query(
+            f"SELECT 99 FROM Site000 WHERE instance_type = '{itype}';",
+            options=QueryOptions(origin="Site000", k=1))
+        assert result.requested == 1
+
+
+class TestOptionsAndResultTypes:
+    def test_query_options_frozen_and_keyword_only(self):
+        opts = QueryOptions(caller="x", deadline_ms=100.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.caller = "y"
+        with pytest.raises(TypeError):
+            QueryOptions({"payload": True})  # positional rejected
+
+    def test_query_options_defaults(self):
+        opts = QueryOptions()
+        assert opts.payload is None and opts.caller is None
+        assert opts.deadline_ms is None and opts.retries is None
+        assert opts.k is None and opts.origin is None
+
+    def test_query_result_defaults_are_empty_tuples(self):
+        result = QueryResult(query_id=1)
+        assert result.entries == ()
+        assert result.sites_queried == ()
+        assert result.node_ids() == []
+
+
+class TestDeprecationShims:
+    def test_direct_query_context_construction_warns(self, sim):
+        with pytest.warns(DeprecationWarning, match="facade"):
+            QueryContext(sim, ["A", "B"])
+
+    def test_internal_construction_does_not_warn(self, sim):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            QueryContext(sim, ["A"], _internal=True)
+
+    def test_legacy_execute_kwargs_warn_and_still_work(self, small_plane):
+        plane, workload = small_plane
+        counts = workload.site_instance_population("Site000")
+        itype = max(counts, key=counts.get)
+        home = plane.site_nodes("Site000")[0]
+        app = home.apps["query"]
+        query = parse_query(
+            f"SELECT 1 FROM Site000 WHERE instance_type = '{itype}';")
+        with pytest.warns(DeprecationWarning, match="QueryOptions"):
+            future = app.execute(home, query, caller="legacy",
+                                 timeout=5_000.0)
+        result = future.result()
+        assert isinstance(result, QueryResult)
+        for entry in result.entries:
+            home.send_app(entry["address"], "query", "release",
+                          {"query_id": result.query_id})
+        plane.sim.run()

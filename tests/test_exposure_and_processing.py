@@ -37,7 +37,7 @@ class TestExposurePolicy:
         plane, admin, nodes = market
         admin.broadcast_command(nodes[0], "GPU", "access", {"exposed": False})
         plane.sim.run()
-        assert self.query(plane).entries == []
+        assert self.query(plane).entries == ()
         # Membership unchanged: the nodes are hidden, not unsubscribed.
         from repro.core.naming import site_tree
 

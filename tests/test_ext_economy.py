@@ -65,7 +65,7 @@ class TestCostAwareBuying:
         result = buyer.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
         # 10 + 20 = 30 > 25: cannot afford two nodes.
         assert not result.satisfied
-        assert result.entries == []
+        assert result.entries == ()
         assert buyer.wallet == pytest.approx(25.0)  # nothing charged
 
     def test_per_node_gate_blocks_expensive_nodes(self, market):

@@ -307,7 +307,7 @@ class TestUnknownSites:
             payload={"password": "pw"},
         ).result()
         assert not result.satisfied
-        assert result.sites_answered == []
+        assert result.sites_answered == ()
 
     def test_mixed_known_unknown_sites(self, federation):
         plane, workload = federation
@@ -319,6 +319,6 @@ class TestUnknownSites:
             payload={"password": "pw"},
         ).result()
         assert result.satisfied
-        assert result.sites_answered == ["Virginia"]
+        assert result.sites_answered == ("Virginia",)
         customer.release_all(result)
         plane.sim.run()

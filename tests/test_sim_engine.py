@@ -187,3 +187,89 @@ class TestPeriodicTask:
         holder["task"] = sim.schedule_periodic(5.0, fire)
         sim.run(until=50.0)
         assert marks == [5.0]
+
+
+class TestBatchedCore:
+    """The batch-drain fast path: order parity, pooling, run helpers."""
+
+    @staticmethod
+    def _trace_run(batched):
+        """Run an identical mixed workload, recording (time, seq) steps."""
+        sim = Simulator(batched=batched)
+        trace = []
+        sim.set_step_hook(lambda t, seq: trace.append((t, seq)))
+        fired = []
+        for tag in range(4):  # a same-timestamp burst
+            sim.post(5.0, fired.append, ("burst", tag))
+        sim.schedule(1.0, fired.append, ("early", 0))
+
+        def mid_batch():
+            fired.append(("mid", sim.now))
+            sim.post(0.0, fired.append, ("joined", sim.now))  # same-time join
+            sim.post(2.0, fired.append, ("later", sim.now))
+
+        sim.schedule(5.0, mid_batch)
+        doomed = sim.schedule(3.0, fired.append, ("cancelled", 0))
+        doomed.cancel()
+        sim.run()
+        return trace, fired
+
+    def test_batched_order_matches_legacy(self):
+        batched_trace, batched_fired = self._trace_run(batched=True)
+        legacy_trace, legacy_fired = self._trace_run(batched=False)
+        assert batched_trace == legacy_trace
+        assert batched_fired == legacy_fired
+
+    def test_post_recycles_events_through_the_pool(self):
+        sim = Simulator(batched=True)
+        sim.post(1.0, lambda: None)
+        sim.run()
+        assert len(sim._pool) == 1
+        pooled = sim._pool[-1]
+        sim.post(2.0, lambda: None)  # reuses the pooled Event object
+        assert not sim._pool
+        assert sim._heap[0] is pooled
+        sim.run()
+
+    def test_unbatched_post_does_not_pool(self):
+        sim = Simulator(batched=False)
+        sim.post(1.0, lambda: None)
+        sim.run()
+        assert not sim._pool
+
+    def test_same_time_posts_join_the_running_batch(self):
+        sim = Simulator(batched=True)
+        order = []
+
+        def first():
+            order.append("first")
+            sim.post(0.0, order.append, "joined")
+
+        sim.post(1.0, first)
+        sim.post(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second", "joined"]
+
+    def test_run_for(self):
+        sim = Simulator(batched=True)
+        fired = []
+        sim.post(10.0, fired.append, 1)
+        sim.post(30.0, fired.append, 2)
+        sim.run_for(20.0)
+        assert fired == [1] and sim.now == 20.0
+        with pytest.raises(SimulationError):
+            sim.run_for(-1.0)
+
+    def test_run_until_idle_respects_max_events(self):
+        sim = Simulator(batched=True)
+        fired = []
+        for _ in range(5):
+            sim.post(1.0, fired.append, 1)  # one batch of five
+        sim.run_until_idle(max_events=3)
+        assert len(fired) == 3
+        sim.run_until_idle()
+        assert len(fired) == 5
+
+    def test_post_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(batched=True).post(-0.1, lambda: None)

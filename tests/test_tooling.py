@@ -307,3 +307,30 @@ class TestCoverageChecker:
         rows = checker.report(hits, executable)
         assert [row[3] for row in rows] == [1.0, 0.0]
         assert rows[0][1] == 1 and rows[1][1] == 0
+
+
+def load_api_checker():
+    repo = Path(__file__).resolve().parent.parent
+    spec = importlib.util.spec_from_file_location(
+        "check_api", repo / "tools" / "check_api.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+api_checker = load_api_checker()
+
+
+class TestApiChecker:
+    def test_public_surface_in_sync(self, capsys):
+        assert api_checker.main() == 0
+        assert "check_api: OK" in capsys.readouterr().out
+
+    def test_docs_table_parser_reads_backticked_names(self):
+        text = (f"intro\n{api_checker.DOCS_SECTION}\n\nblah\n"
+                "| Name | What |\n|---|---|\n"
+                "| `RBay` | facade |\n| `QueryResult` | result |\n\nafter\n")
+        assert api_checker._docs_table_names(text) == ["RBay", "QueryResult"]
+
+    def test_docs_table_parser_missing_section(self):
+        assert api_checker._docs_table_names("no section here") is None

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Lint the frozen public API surface (run by ``make coverage`` and CI).
+
+Fails (exit 1) when any of these drift apart:
+
+* ``repro.__all__`` — the declared stable surface;
+* the lazy-export map ``repro._EXPORTS`` backing it (PEP 562);
+* the "Public API & stability" table in ``docs/architecture.md``;
+* ``repro.query.__all__`` — the query package's exported helpers.
+
+Also pins the stability contract itself: every public name must resolve
+and carry a docstring, and ``QueryOptions``/``QueryResult`` must stay
+frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+DOCS = REPO / "docs" / "architecture.md"
+DOCS_SECTION = "## 12. Public API & stability"
+
+
+def _fail(errors):
+    for error in errors:
+        print(f"check_api: FAIL: {error}")
+    return 1
+
+
+def _docs_table_names(text: str):
+    """Backticked names from the first column of the section's table."""
+    try:
+        section = text.split(DOCS_SECTION, 1)[1]
+    except IndexError:
+        return None
+    names = []
+    for line in section.splitlines():
+        match = re.match(r"\|\s*`([A-Za-z_][A-Za-z0-9_]*)`\s*\|", line)
+        if match:
+            names.append(match.group(1))
+        elif names and not line.startswith("|"):
+            break  # table ended
+    return names
+
+
+def main() -> int:
+    import repro
+    import repro.query as query_pkg
+
+    errors = []
+
+    # 1. Every declared public name resolves and is documented.
+    for name in repro.__all__:
+        try:
+            value = getattr(repro, name)
+        except AttributeError as exc:
+            errors.append(f"repro.{name} does not resolve: {exc}")
+            continue
+        if name != "__version__" and not (getattr(value, "__doc__", None) or "").strip():
+            errors.append(f"repro.{name} has no docstring")
+
+    # 2. The lazy-export map backs exactly __all__ (minus __version__).
+    declared = set(repro.__all__) - {"__version__"}
+    mapped = set(repro._EXPORTS)
+    if declared != mapped:
+        errors.append(
+            f"repro.__all__ and repro._EXPORTS disagree: "
+            f"only in __all__: {sorted(declared - mapped)}, "
+            f"only in _EXPORTS: {sorted(mapped - declared)}")
+
+    # 3. The docs table lists exactly the public names.
+    table = _docs_table_names(DOCS.read_text(encoding="utf-8"))
+    if table is None:
+        errors.append(f"docs/architecture.md lacks section {DOCS_SECTION!r}")
+    elif set(table) != declared:
+        errors.append(
+            f"docs/architecture.md public-API table drifted: "
+            f"missing {sorted(declared - set(table))}, "
+            f"extra {sorted(set(table) - declared)}")
+
+    # 4. The query package's exported surface resolves.
+    for name in query_pkg.__all__:
+        if not hasattr(query_pkg, name):
+            errors.append(f"repro.query.{name} in __all__ but missing")
+
+    # 5. The value types stay frozen dataclasses.
+    for cls_name in ("QueryOptions", "QueryResult"):
+        cls = getattr(repro, cls_name)
+        if not dataclasses.is_dataclass(cls) or not cls.__dataclass_params__.frozen:
+            errors.append(f"{cls_name} must remain a frozen dataclass")
+
+    if errors:
+        return _fail(errors)
+    print(f"check_api: OK ({len(repro.__all__)} public names, "
+          f"{len(query_pkg.__all__)} query exports, docs table in sync)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,9 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "obs" / "metrics.py",
     REPO / "src" / "repro" / "obs" / "critical_path.py",
     REPO / "src" / "repro" / "obs" / "export.py",
+    REPO / "src" / "repro" / "query" / "admission.py",
+    REPO / "src" / "repro" / "query" / "options.py",
+    REPO / "src" / "repro" / "query" / "result.py",
 ]
 
 #: Test files that exercise them.
@@ -51,6 +54,8 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_obs_metrics.py",
     REPO / "tests" / "test_obs_critical_path.py",
     REPO / "tests" / "test_obs_exporters.py",
+    REPO / "tests" / "test_query_admission.py",
+    REPO / "tests" / "test_api_surface.py",
 ]
 
 
