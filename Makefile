@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos coverage trace examples outputs clean
+.PHONY: install test bench chaos sanitize coverage trace examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,22 @@ chaos:
 	RBAY_CHAOS_SEEDS=$${RBAY_CHAOS_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
 	  tests/test_chaos_properties.py tests/test_faults_injector.py -q
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_chaos_recovery.py \
+	  --benchmark-only -s
+
+# Runtime invariant sanitizer (docs/architecture.md §13): the sanitizer
+# unit/regression suite, the sanitized 20-seed chaos matrix, the
+# fault-replay check subcommand, a sanitized fail-fast 1,024-node scale
+# run, and the on/off overhead + trace-identity benchmark
+# (benchmarks/results/sanitize_overhead.json).
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_sanitizer.py \
+	  tests/test_query_orphan_release.py tests/test_core_reservation.py
+	RBAY_CHAOS_SEEDS=$${RBAY_CHAOS_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
+	  tests/test_chaos_properties.py -q
+	PYTHONPATH=src $(PYTHON) -m repro.cli check --seed 101 --show-faults
+	PYTHONPATH=src $(PYTHON) -m repro.cli scale --sites 32 --nodes 32 \
+	  --queries 64 --sanitize --sanitize-fail-fast
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_sanitizer_overhead.py \
 	  --benchmark-only -s
 
 # Line-coverage floor for the caching subsystem.  When pytest-cov is

@@ -11,6 +11,9 @@ Quick orientation (details in README.md / docs/architecture.md):
   trees (multicast / anycast / aggregate);
 * :mod:`repro.aa` — the sandboxed active-attribute runtime ("Luette");
 * :mod:`repro.query` — the SQL interface and five-step protocol;
+* :mod:`repro.check` — the runtime invariant sanitizer (TSan/ASan-style
+  continuous checking of tree, aggregate, reservation, and network
+  invariants while workloads run);
 * :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.metrics`,
   :mod:`repro.ext` — baselines, evaluation workloads, measurement, and the
   paper's future-work extensions.
@@ -32,6 +35,7 @@ __all__ = [
     "QueryError",
     "FaultSchedule",
     "Observability",
+    "Sanitizer",
     "__version__",
 ]
 
@@ -44,6 +48,7 @@ _EXPORTS = {
     "QueryError": "repro.query.errors",
     "FaultSchedule": "repro.faults.schedule",
     "Observability": "repro.obs",
+    "Sanitizer": "repro.check",
 }
 
 

@@ -56,11 +56,29 @@ def _build_plane(args) -> tuple:
         fault_schedule=_load_fault_schedule(args),
         tracing=tracing,
         batching=not getattr(args, "no_batching", False),
+        sanitize=getattr(args, "sanitize", False),
+        sanitize_sweep_events=getattr(args, "sanitize_sweep", 5_000),
+        sanitize_fail_fast=getattr(args, "sanitize_fail_fast", False),
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
     plane.sim.run()
     return plane, workload
+
+
+def _finish_sanitize(plane) -> int:
+    """Shared sanitizer epilogue: drain to quiescence, print the report.
+
+    Returns the number of violations (callers fold it into the exit code).
+    """
+    if plane.sanitizer is None:
+        return 0
+    plane.stop_maintenance()
+    plane.sim.run()  # full drain fires the quiescent-point checks
+    report = plane.sanitizer.report
+    print()
+    print(report.format())
+    return len(report.violations)
 
 
 def _finish_tracing(plane, args) -> None:
@@ -111,6 +129,16 @@ def _common_parser() -> argparse.ArgumentParser:
     common.add_argument("--trace-out", default=None, metavar="PATH",
                         help="enable span tracing and write a Chrome "
                              "trace_event export to PATH (view in Perfetto)")
+    common.add_argument("--sanitize", action="store_true",
+                        help="attach the runtime invariant sanitizer "
+                             "(repro.check) and print its report")
+    common.add_argument("--sanitize-sweep", type=int, default=5_000,
+                        metavar="N",
+                        help="events between periodic sanitizer sweeps "
+                             "(0 keeps only quiescent/post-event checks)")
+    common.add_argument("--sanitize-fail-fast", action="store_true",
+                        help="raise on the first invariant violation "
+                             "instead of collecting a report")
     return common
 
 
@@ -154,8 +182,9 @@ def cmd_query(args) -> int:
     if args.show_counters:
         print()
         print(plane.counters.format())
+    violations = _finish_sanitize(plane)
     _finish_tracing(plane, args)
-    return 0 if result.satisfied else 1
+    return 0 if result.satisfied and not violations else 1
 
 
 def cmd_explain(args) -> int:
@@ -195,8 +224,9 @@ def cmd_latency(args) -> int:
     if args.show_counters:
         print()
         print(plane.counters.format())
+    violations = _finish_sanitize(plane)
     _finish_tracing(plane, args)
-    return 0
+    return 1 if violations else 0
 
 
 def cmd_trace(args) -> int:
@@ -246,6 +276,9 @@ def cmd_scale(args) -> int:
         duration_ms=args.duration,
         queries=args.queries,
         batching=not args.no_batching,
+        sanitize=args.sanitize,
+        sanitize_sweep_events=args.sanitize_sweep,
+        sanitize_fail_fast=args.sanitize_fail_fast,
     )
     metrics = run_scale(spec)
     print(f"scale: {metrics['total_nodes']} nodes "
@@ -265,11 +298,91 @@ def cmd_scale(args) -> int:
     print(f"admission: {metrics['admission']['admitted']} admitted, "
           f"max queue {metrics['admission']['max_queued']}  "
           f"signature: {metrics['signature'][:16]}…")
+    violations = 0
+    if "sanitizer" in metrics:
+        san = metrics["sanitizer"]
+        violations = len(san["violations"])
+        print(f"sanitizer: {violations} violation(s), {san['sweeps']} sweeps, "
+              f"{san['quiescent_checks']} quiescent checks")
+        for entry in san["violations"]:
+            print(f"  {entry['invariant']}: {entry['subject']}: "
+                  f"{entry['detail']}")
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(metrics, handle, indent=2, sort_keys=True)
         print(f"wrote metrics to {args.json_out}")
-    return 0
+    return 1 if violations else 0
+
+
+def cmd_check(args) -> int:
+    """Replay a fault schedule under the invariant sanitizer.
+
+    Builds a sanitized federation, installs the given ``--fault-schedule``
+    (or a seeded randomized one), keeps customers querying through the
+    chaos window, drains to quiescence, and prints the violation report.
+    Exit code 1 when any invariant was violated.
+    """
+    import random as _random
+
+    from repro.faults import FaultSchedule
+    from repro.query.result import QueryResult
+
+    args.sanitize = True
+    plane, _ = _build_plane(args)
+    plane.settle(1_000.0)
+    # Tight protocol timeouts keep the replay short.
+    plane.context.site_timeout_ms = 1_500.0
+    plane.context.probe_timeout_ms = 750.0
+    plane.start_maintenance()
+    if plane.fault_injector is None:
+        schedule = FaultSchedule.randomized(
+            _random.Random(args.seed * 7 + 1),
+            duration_ms=args.window,
+            node_count=len(plane.nodes),
+            crash_fraction=args.crash_fraction,
+            mean_downtime_ms=1_500.0,
+            site_names=[s.name for s in plane.registry],
+            partitions=args.partitions,
+            mean_partition_ms=2_000.0,
+            drop_prob=args.drop_prob,
+        ).shifted(plane.sim.now)
+        plane.install_faults(schedule)
+    injector = plane.fault_injector
+
+    site_names = [s.name for s in plane.registry]
+    rng = _random.Random(args.seed * 13 + 5)
+    generator = QueryWorkload(plane.streams.stream("cli-check"), site_names,
+                              k=1, password=args.password)
+    futures = []
+    for _ in range(args.queries):
+        origin = rng.choice(site_names)
+        sql, payload = next(iter(generator.stream(origin, 1, 1)))
+        at = plane.sim.now + rng.uniform(0.1, 0.9) * args.window
+
+        def fire(sql=sql, payload=payload, origin=origin):
+            futures.append(plane.submit(sql, options=QueryOptions(
+                origin=origin, caller="check", payload=payload,
+                deadline_ms=8_000.0)))
+
+        plane.sim.schedule_at(at, fire)
+
+    plane.run(until=plane.sim.now + args.window + args.quiesce)
+    plane.stop_maintenance()
+    plane.sim.run()  # drain: the idle hook fires the quiescent checks
+
+    satisfied = sum(1 for f in futures
+                    if isinstance(f.value, QueryResult) and f.value.satisfied)
+    print(f"check: seed {args.seed}, {len(plane.nodes)} nodes, "
+          f"{len(injector.trace)} fault events applied, "
+          f"{len(futures)} queries fired ({satisfied} satisfied)")
+    if args.show_faults:
+        print()
+        print(injector.trace_text())
+    report = plane.sanitizer.report
+    print()
+    print(report.format())
+    _finish_tracing(plane, args)
+    return 1 if report.violations else 0
 
 
 def cmd_lua(args) -> int:
@@ -349,6 +462,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="write the full metrics dict to PATH")
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("check", parents=[common],
+                       help="replay a fault schedule under the invariant "
+                            "sanitizer and print the violation report")
+    p.add_argument("--window", type=float, default=6_000.0,
+                   help="chaos window of simulated time (ms)")
+    p.add_argument("--quiesce", type=float, default=4_000.0,
+                   help="post-chaos convergence window (ms)")
+    p.add_argument("--queries", type=int, default=6,
+                   help="queries fired during the window")
+    p.add_argument("--crash-fraction", type=float, default=0.3,
+                   help="fraction of nodes crashed by the randomized "
+                        "schedule (ignored with --fault-schedule)")
+    p.add_argument("--partitions", type=int, default=1,
+                   help="site partitions in the randomized schedule")
+    p.add_argument("--drop-prob", type=float, default=0.1,
+                   help="ambient drop probability in the randomized schedule")
+    p.add_argument("--show-faults", action="store_true",
+                   help="print the applied fault-event trace")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("lua", help="run a Luette chunk in the AA sandbox")
     p.add_argument("source", help="chunk text, or '-' to read stdin")

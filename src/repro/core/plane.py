@@ -110,6 +110,21 @@ class RBayConfig:
     #: Bound on concurrently admitted queries through the facade; further
     #: submissions wait FIFO in the admission queue.
     query_window: int = 64
+    #: Attach the runtime invariant sanitizer (:mod:`repro.check`) at
+    #: build time.  Off by default: with it off nothing is installed and
+    #: runs are byte-identical to a sanitizer-free build; with it on the
+    #: checks are purely observational, so traces stay identical too.
+    sanitize: bool = False
+    #: Events between periodic sanitizer sweeps (0 disables sweeps,
+    #: keeping only quiescent / post-query / post-fault checks).
+    sanitize_sweep_events: int = 5_000
+    #: Raise :class:`repro.check.InvariantViolationError` at the first
+    #: violation instead of collecting into the report.
+    sanitize_fail_fast: bool = False
+    #: Convergence grace window (ms): churn-sensitive structural
+    #: invariants only report findings that persist this long past the
+    #: last fault activity.
+    sanitize_grace_ms: float = 2_500.0
 
 
 class RBay:
@@ -174,6 +189,9 @@ class RBay:
         #: Set by :meth:`install_faults` (or at build time when the config
         #: carries a ``fault_schedule``).
         self.fault_injector: Optional["FaultInjector"] = None
+        #: Set at build time when ``cfg.sanitize`` is on (see
+        #: :mod:`repro.check`); None otherwise — zero-cost when off.
+        self.sanitizer: Optional[Any] = None
         self._built = False
 
     # ------------------------------------------------------------------
@@ -233,6 +251,15 @@ class RBay:
             elif members:
                 self.context.set_gateway(site.name, members[0].address)
         self._built = True
+        if self.config.sanitize:
+            from repro.check.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(
+                self,
+                sweep_events=self.config.sanitize_sweep_events,
+                fail_fast=self.config.sanitize_fail_fast,
+                grace_ms=self.config.sanitize_grace_ms,
+            ).attach()
         if self.config.fault_schedule is not None:
             self.install_faults(self.config.fault_schedule)
         return self
@@ -254,6 +281,8 @@ class RBay:
                 recorder=self.obs.recorder if self.obs.enabled else None,
             )
             self.fault_injector.install(schedule)
+            if self.sanitizer is not None:
+                self.sanitizer.watch_injector(self.fault_injector)
         elif schedule is not None:
             self.fault_injector.load(schedule)
         return self.fault_injector
@@ -281,6 +310,8 @@ class RBay:
         """Dynamically add a node (protocol join when ``join_via`` given)."""
         node = self.overlay.create_node(site)
         self._wire_node(node)
+        if self.sanitizer is not None:
+            self.sanitizer.watch_node(node)
         if join_via is not None:
             self.overlay.join(node, join_via)
         return node

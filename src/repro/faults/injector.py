@@ -88,6 +88,10 @@ class FaultInjector:
         self._paused_maintenance: Dict[int, tuple] = {}
         #: Applied schedule events, as stable strings (determinism trace).
         self.trace: List[str] = []
+        #: Observers called with each :class:`FaultEvent` right after it is
+        #: applied (the invariant sanitizer's post-fault-activation hook).
+        #: Listeners must only observe — never schedule or mutate.
+        self.listeners: List[Any] = []
         self._installed = False
 
     # ------------------------------------------------------------------
@@ -133,6 +137,8 @@ class FaultInjector:
             self.recorder.instant(f"fault.{event.action}", category="fault",
                                   detail=event.describe())
         self._record(event.describe())
+        for listener in self.listeners:
+            listener(event)
 
     def crash_node(self, index: int) -> None:
         """Crash-stop a node: detach it and freeze its periodic work."""

@@ -65,6 +65,9 @@ class PastryNode(Host):
         # isolation layer; None when isolation is disabled).
         self.site_leaf_set: Optional[LeafSet] = None
         self.site_routing_table: Optional[RoutingTable] = None
+        # Round counter for the periodic neighbor exchange (alternates the
+        # exchange partner between the leaf set's two extremes).
+        self._exchange_round = 0
 
     # ------------------------------------------------------------------
     # Application registry
@@ -123,10 +126,15 @@ class PastryNode(Host):
             else:
                 self.stats["unknown_app"] += 1
         elif msg.kind == "pastry.ls_req":
-            # Leaf-set exchange: reply with our neighborhood so the asker
-            # can refill holes left by failed nodes.
+            # Leaf-set exchange: reply with our neighborhood (global and
+            # site-scoped, like announce) so the asker can refill holes
+            # left by failed nodes and relearn recovered same-site peers.
+            neighbors = {ref.address: ref for ref in self.leaf_set.members()}
+            if self.site_leaf_set is not None:
+                for ref in self.site_leaf_set.members():
+                    neighbors.setdefault(ref.address, ref)
             refs = [(r.node_id.value, r.address, r.site_index)
-                    for r in self.leaf_set.members()]
+                    for r in neighbors.values()]
             refs.append((self.node_id.value, self.address, self.site.index))
             self.send(msg.payload["origin"], Message(kind="pastry.ls_rep",
                                                      payload={"refs": refs}))
@@ -159,12 +167,25 @@ class PastryNode(Host):
             if not self._is_alive(ref):
                 self.remove_peer(ref.address)
                 removed += 1
+        survivors = self.leaf_set.members()
         if removed:
-            survivors = self.leaf_set.members()
             for ref in survivors[:2] + survivors[-2:]:
                 self.send(ref.address, Message(kind="pastry.ls_req",
                                                payload={"origin": self.address}))
             self.stats["stabilize_repairs"] += removed
+        if survivors:
+            # Periodic neighbor exchange, one partner per round.  Removal
+            # alone cannot restore knowledge of a node that crash-recovered
+            # while we were also down: its recovery announce went to *its*
+            # remembered neighbors, which no longer include us (we were dead
+            # and had been purged).  A standing low-rate pull through a
+            # mutual neighbor re-links the two within a few rounds.
+            self._exchange_round += 1
+            partner = (survivors[0] if self._exchange_round % 2
+                       else survivors[-1])
+            self.send(partner.address, Message(kind="pastry.ls_req",
+                                               payload={"origin": self.address}))
+            self.stats["stabilize_exchanges"] += 1
         return removed
 
     def _handle_route(self, msg: Message, local: bool) -> None:

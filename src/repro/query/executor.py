@@ -150,6 +150,14 @@ class QueryContext:
         #: repeated queries skip the probe round entirely.  0 disables the
         #: cache (every query probes — the paper's baseline behaviour).
         self.probe_cache_ms = probe_cache_ms
+        #: Query ids currently between ``execute()`` and settlement —
+        #: the "in-flight query" ground truth the reservation-hygiene
+        #: invariant checks held reservations against.
+        self.active_query_ids: set = set()
+        #: Observers called once per query at settlement with
+        #: ``(frozen_result, committed_count)``; the invariant sanitizer
+        #: subscribes here.  Empty by default (zero-cost when unused).
+        self.result_listeners: List[Any] = []
 
     def set_gateway(self, site_name: str, address: int) -> None:
         self.gateways[site_name] = address
@@ -266,6 +274,7 @@ class QueryApplication(Application):
         )
         target_sites = query.sites if query.sites is not None else self.context.site_names
         result.sites_queried = list(target_sites)
+        self.context.active_query_ids.add(query_id)
         done = Future(sim, timeout=opts.deadline_ms,
                       timeout_value=lambda: QueryTimeout(
                           query_id, opts.deadline_ms))
@@ -346,7 +355,11 @@ class QueryApplication(Application):
                 # one is fed by the step spans underneath this root.
                 self.obs.metrics.histogram("query.duration_ms").observe(
                     root_span.duration_ms, site=node.site.name)
-            done.try_resolve(result.freeze())
+            frozen = result.freeze()
+            self.context.active_query_ids.discard(query_id)
+            for listener in self.context.result_listeners:
+                listener(frozen, len(committed))
+            done.try_resolve(frozen)
 
         gather(sim, site_futures,
                timeout=self.context.deadline_for(retries)).add_callback(_merge)
@@ -840,15 +853,22 @@ class QueryApplication(Application):
                 # Late or duplicate reply: the coordinator already gave up
                 # on this attempt (or the whole query).  Its reservations
                 # must not dangle until the hold window lapses — release
-                # each one explicitly.
+                # each one explicitly.  The release is uncommitted-only:
+                # the same query may have succeeded through a retried
+                # attempt and committed some of these nodes, and a blanket
+                # release would revoke the customer's active lease.
                 query_id = data.get("query_id")
                 if query_id is not None:
                     for entry in data["entries"]:
                         node.send_app(entry["address"], self.name, "release",
-                                      {"query_id": query_id})
+                                      {"query_id": query_id,
+                                       "uncommitted_only": True})
                     if self.counters is not None and data["entries"]:
                         self.counters.increment("query.orphan_release")
         elif kind == "commit":
             node.reservation.commit(data["query_id"], data["lease_ms"])
         elif kind == "release":
-            node.reservation.release(data["query_id"])
+            if data.get("uncommitted_only"):
+                node.reservation.release_uncommitted(data["query_id"])
+            else:
+                node.reservation.release(data["query_id"])

@@ -595,8 +595,17 @@ class ScribeApplication(Application):
         """Detach from parent if we are a childless, memberless non-root."""
         if state.member or state.children or state.is_root:
             return
-        if state.parent is not None and node.network.has_host(state.parent):
-            node.send_app(state.parent, self.name, "leave", {"topic": state.topic})
+        if state.parent is not None:
+            if node.network.has_host(state.parent):
+                node.send_app(state.parent, self.name, "leave",
+                              {"topic": state.topic})
+            else:
+                # Goodbye deferred, mirroring _on_parent_set: a parent that
+                # is down right now would otherwise keep this branch's
+                # accumulator when it recovers (over-count until the next
+                # anti-entropy round reaches it).  maintain() sends the
+                # leave once the former parent is reachable again.
+                state.former_parent = state.parent
         state.parent = None
 
     # ------------------------------------------------------------------

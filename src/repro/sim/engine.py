@@ -84,6 +84,7 @@ class Simulator:
         self._events_executed = 0
         self._running = False
         self._step_hook: Optional[Callable[[float, int], None]] = None
+        self._idle_hook: Optional[Callable[[], None]] = None
         self.batched = batched
         self._pool: list[Event] = []
 
@@ -94,6 +95,14 @@ class Simulator:
         byte-comparable trace for determinism checks — e.g. that identical
         fault-schedule seeds replay identically.  ``None`` uninstalls."""
         self._step_hook = hook
+
+    def set_idle_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        """Install an observer called when :meth:`run` drains the queue
+        completely — i.e. at true quiescence, with no message or timer
+        still pending.  The invariant sanitizer hangs its quiescent-point
+        checks here.  The hook must only observe (never schedule work);
+        ``None`` uninstalls."""
+        self._idle_hook = hook
 
     # ------------------------------------------------------------------
     # Clock
@@ -226,6 +235,8 @@ class Simulator:
                 self._run_legacy(until, max_events)
         finally:
             self._running = False
+        if self._idle_hook is not None and not self._heap:
+            self._idle_hook()
 
     def _run_batched(self, until: Optional[float], max_events: Optional[int]) -> None:
         """Batched core: drain every runnable event sharing a timestamp in

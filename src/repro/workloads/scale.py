@@ -84,6 +84,15 @@ class ScaleSpec:
     drain_ms: float = 20_000.0
     #: Batched engine (True) or the unbatched ablation baseline (False).
     batching: bool = True
+    #: Attach the runtime invariant sanitizer (:mod:`repro.check`).  The
+    #: metrics dict gains a ``"sanitizer"`` entry; the run ``signature``
+    #: is computed before the sanitizer's quiescent drain, so it stays
+    #: identical with the sanitizer on or off.
+    sanitize: bool = False
+    #: Sweep cadence for the sanitizer (events between periodic sweeps).
+    sanitize_sweep_events: int = 50_000
+    #: Raise on the first violation instead of collecting the report.
+    sanitize_fail_fast: bool = False
 
     @property
     def total_nodes(self) -> int:
@@ -101,6 +110,9 @@ def _build_plane(spec: ScaleSpec) -> RBay:
         batching=spec.batching,
         query_window=spec.query_window,
         agg_flush_ms=spec.agg_flush_ms,
+        sanitize=spec.sanitize,
+        sanitize_sweep_events=spec.sanitize_sweep_events,
+        sanitize_fail_fast=spec.sanitize_fail_fast,
     )).build()
     # Lean dressing: instance-type trees only (no gates, no threshold
     # trees) so the measured traffic is the publish storm + queries.
@@ -226,6 +238,15 @@ def run_scale(spec: Optional[ScaleSpec] = None) -> Dict[str, Any]:
         )).encode())
     digest.update(repr((round(sim.now, 6), publishes)).encode())
 
+    # Sanitized runs drain to true quiescence *after* the signature is
+    # sealed (the extra drain advances sim.now, and the signature must be
+    # identical with the sanitizer on or off), firing the strict
+    # quiescent-point invariant checks via the simulator's idle hook.
+    sanitizer_metrics: Optional[Dict[str, Any]] = None
+    if plane.sanitizer is not None:
+        sim.run()
+        sanitizer_metrics = plane.sanitizer.report.to_dict()
+
     def _pcts(values: List[float]) -> Dict[str, float]:
         if not values:
             return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0}
@@ -260,4 +281,6 @@ def run_scale(spec: Optional[ScaleSpec] = None) -> Dict[str, Any]:
             "max_queued": plane.admission.max_queued,
         },
         "signature": digest.hexdigest(),
+        **({"sanitizer": sanitizer_metrics}
+           if sanitizer_metrics is not None else {}),
     }

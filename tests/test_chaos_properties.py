@@ -39,8 +39,13 @@ QUIESCE_MS = 4_000.0
 
 
 def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
-              queries=6):
-    """One chaos scenario; returns everything the invariants inspect."""
+              queries=6, sanitize=True):
+    """One chaos scenario; returns everything the invariants inspect.
+
+    The runtime invariant sanitizer rides along by default — its checks
+    are purely observational, so the determinism fingerprint is
+    unaffected — and the invariant test asserts its report stays empty.
+    """
     plane = RBay(RBayConfig(
         seed=seed,
         synthetic_sites=4,
@@ -48,6 +53,10 @@ def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
         jitter=False,
         maintenance_interval_ms=500.0,
         reservation_hold_ms=1_000.0,
+        sanitize=sanitize,
+        # Chaos runs execute only a few thousand events (batched delivery
+        # coalescing), so sweep well below the default cadence.
+        sanitize_sweep_events=250,
     )).build()
     workload = FederationWorkload(plane, WorkloadSpec(
         gate_policies=False, utilization_thresholds=())).apply()
@@ -150,6 +159,12 @@ def test_chaos_invariants(seed):
         got = plane.tree_size(instance_tree(site, itype), via=via, scope="site")
         assert got == expected, (
             f"{site}/{itype}: tree says {got}, ground truth {expected}")
+
+    # 5. The runtime sanitizer, watching throughout (periodic sweeps,
+    # post-query, post-fault, and the final quiescent check), saw nothing.
+    report = plane.sanitizer.report
+    assert report.ok, report.format()
+    assert report.quiescent_checks > 0
 
 
 def test_chaos_run_is_deterministic():

@@ -152,16 +152,36 @@ def test_recommit_extends_lease(sim, table):
     assert table.committed
 
 
-def test_rereserve_downgrades_lease_to_hold(sim, table):
-    """try_reserve by the lease holder restarts the protocol: the lease
-    becomes a plain timed hold again (step 4 re-entered)."""
+def test_rereserve_after_commit_keeps_lease(sim, table):
+    """A duplicate reserve from the lease-holding query is a no-op.
+
+    Historically it demoted the lease back to a short timed hold, so a
+    retried anycast arriving after step 5 settled would silently evict a
+    committed customer once the hold window lapsed.  The reserve must
+    succeed (the query already owns the node) but leave the lease — and
+    its expiry horizon — untouched.
+    """
     table.try_reserve(1)
     table.commit(1, lease_ms=10_000.0)
     assert table.try_reserve(1)
-    assert not table.committed
+    assert table.committed
     sim.schedule(150.0, lambda: None)
     sim.run()
-    assert table.is_free()  # expired on the hold clock, not the lease clock
+    # Well past the hold window: the lease clock governs, not the hold.
+    assert table.holder() == 1
+    assert table.committed
+
+
+def test_rereserve_delayed_duplicate_does_not_evict(sim, table):
+    """Regression for the demote bug with the duplicate arriving late:
+    the duplicate fires after commit, then the hold window passes."""
+    table.try_reserve(7)
+    table.commit(7, lease_ms=60_000.0)
+    sim.schedule(500.0, table.try_reserve, 7)     # delayed duplicate
+    sim.schedule(5_000.0, lambda: None)           # well past hold_ms
+    sim.run()
+    assert table.holder() == 7
+    assert table.committed
 
 
 def test_committed_false_after_lease_lapse_without_access(sim, table):

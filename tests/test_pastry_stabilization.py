@@ -94,3 +94,22 @@ def test_maintenance_tick_invokes_stabilization():
     plane.sim.run()
     assert victim_ref.address not in {r.address for r in node.leaf_set.members()}
     assert node.stats["stabilize_repairs"] >= 1
+
+
+def test_periodic_exchange_heals_mutual_knowledge_loss(sim, overlay):
+    """Regression: two nodes that purged each other (overlapping crash
+    windows — each recovered while absent from the other's leaf set, so
+    neither recovery announce reached the other) must re-link through the
+    standing neighbor exchange, without any further failure to trigger a
+    repair round."""
+    a = overlay.nodes[0]
+    b_ref = a.leaf_set.members()[0]
+    b = overlay.network.host(b_ref.address)
+    a.remove_peer(b.address)
+    b.remove_peer(a.address)
+    assert b.address not in {r.address for r in a.leaf_set.members()}
+    for _ in range(6):
+        a.stabilize()
+        sim.run()
+    assert b.address in {r.address for r in a.leaf_set.members()}
+    assert a.stats["stabilize_exchanges"] >= 1

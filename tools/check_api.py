@@ -9,8 +9,9 @@ Fails (exit 1) when any of these drift apart:
 * ``repro.query.__all__`` — the query package's exported helpers.
 
 Also pins the stability contract itself: every public name must resolve
-and carry a docstring, and ``QueryOptions``/``QueryResult`` must stay
-frozen dataclasses.
+and carry a docstring, ``QueryOptions``/``QueryResult`` must stay frozen
+dataclasses, and every ``RBayConfig`` field (the public configuration
+knobs, including the sanitizer's) must be listed in ``docs/api.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +26,9 @@ sys.path.insert(0, str(REPO / "src"))
 
 DOCS = REPO / "docs" / "architecture.md"
 DOCS_SECTION = "## 12. Public API & stability"
+
+API_DOCS = REPO / "docs" / "api.md"
+CONFIG_SECTION = "### `RBayConfig`"
 
 
 def _fail(errors):
@@ -94,6 +98,25 @@ def main() -> int:
         cls = getattr(repro, cls_name)
         if not dataclasses.is_dataclass(cls) or not cls.__dataclass_params__.frozen:
             errors.append(f"{cls_name} must remain a frozen dataclass")
+
+    # 6. Every RBayConfig knob is documented in docs/api.md.
+    from repro.core.plane import RBayConfig
+
+    api_text = API_DOCS.read_text(encoding="utf-8")
+    try:
+        config_section = api_text.split(CONFIG_SECTION, 1)[1].split("### ", 1)[0]
+    except IndexError:
+        config_section = None
+    if config_section is None:
+        errors.append(f"docs/api.md lacks section {CONFIG_SECTION!r}")
+    else:
+        documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`",
+                                    config_section))
+        fields = {f.name for f in dataclasses.fields(RBayConfig)}
+        missing = sorted(fields - documented)
+        if missing:
+            errors.append(
+                f"docs/api.md RBayConfig section is missing fields: {missing}")
 
     if errors:
         return _fail(errors)

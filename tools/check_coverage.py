@@ -40,6 +40,9 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "query" / "admission.py",
     REPO / "src" / "repro" / "query" / "options.py",
     REPO / "src" / "repro" / "query" / "result.py",
+    REPO / "src" / "repro" / "check" / "sanitizer.py",
+    REPO / "src" / "repro" / "check" / "invariants.py",
+    REPO / "src" / "repro" / "core" / "reservation.py",
 ]
 
 #: Test files that exercise them.
@@ -56,6 +59,9 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_obs_exporters.py",
     REPO / "tests" / "test_query_admission.py",
     REPO / "tests" / "test_api_surface.py",
+    REPO / "tests" / "test_sanitizer.py",
+    REPO / "tests" / "test_core_reservation.py",
+    REPO / "tests" / "test_query_orphan_release.py",
 ]
 
 
