@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos sanitize coverage trace examples outputs clean
+.PHONY: install test bench chaos sanitize coverage trace planner examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -62,6 +62,18 @@ trace:
 	PYTHONPATH=src $(PYTHON) -m repro.cli trace \
 	  "SELECT 2 FROM * WHERE instance_type = 'c3.large';" \
 	  --nodes 8 --no-jitter --trace-out trace_demo.json
+
+# Range planner (docs/architecture.md §14): bucket/planner unit and golden
+# suites, the oracle-backed property suite (planner on vs. off, row-identical
+# to brute force; RBAY_ORACLE_SEEDS widens the sweep), and the planner-on/off
+# ablation (benchmarks/results/planner_ablation.json).
+planner:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_scribe_buckets.py \
+	  tests/test_query_planner.py
+	RBAY_ORACLE_SEEDS=$${RBAY_ORACLE_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
+	  tests/test_property_range_oracle.py -q
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_planner_ablation.py \
+	  --benchmark-only -s
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

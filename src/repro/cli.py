@@ -52,6 +52,7 @@ def _build_plane(args) -> tuple:
         jitter=not args.no_jitter,
         aggregate_cache=not args.no_aggregate_cache,
         probe_cache_ms=args.probe_cache_ms,
+        planner=not getattr(args, "no_planner", False),
         site_retries=getattr(args, "site_retries", 2),
         fault_schedule=_load_fault_schedule(args),
         tracing=tracing,
@@ -62,6 +63,8 @@ def _build_plane(args) -> tuple:
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
+    if getattr(args, "buckets", 0):
+        plane.register_buckets("CPU_utilization", 0.0, 100.0, args.buckets)
     plane.sim.run()
     return plane, workload
 
@@ -114,6 +117,12 @@ def _common_parser() -> argparse.ArgumentParser:
     common.add_argument("--probe-cache-ms", type=float, default=0.0,
                         help="staleness bound for cached tree-size probes "
                              "(0 disables the probe cache)")
+    common.add_argument("--buckets", type=int, default=0, metavar="N",
+                        help="range-partition CPU_utilization into N bucketed "
+                             "trees (0 disables bucketed indices)")
+    common.add_argument("--no-planner", action="store_true",
+                        help="disable the cost-based range planner (range "
+                             "queries flood the whole bucket family)")
     common.add_argument("--no-aggregate-cache", action="store_true",
                         help="disable subtree-accumulator memoization")
     common.add_argument("--no-batching", action="store_true",
@@ -164,6 +173,9 @@ def cmd_describe(args) -> int:
 def cmd_query(args) -> int:
     """Run one SQL query and print the granted nodes (exit 1 if short)."""
     plane, _ = _build_plane(args)
+    if args.explain:
+        print(plan_query(parse_query(args.sql), plane.context).explain())
+        print()
     try:
         result = plane.query(args.sql, options=QueryOptions(
             origin=args.origin, caller="cli",
@@ -427,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--origin", default="Virginia", help="customer's home site")
     p.add_argument("--show-counters", action="store_true",
                    help="print cache/protocol counters after the query")
+    p.add_argument("--explain", action="store_true",
+                   help="print the chosen plan (with planner cost "
+                        "estimates) before running the query")
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("explain", parents=[common],

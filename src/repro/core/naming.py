@@ -46,6 +46,9 @@ def predicate_tree_name(attribute: str, op: str, value: object) -> str:
         if value is True:
             return str(attribute)
         return f"{attribute}={_canonical_value(value)}"
+    if op == "between":
+        lo, hi = value
+        return f"{attribute}[{_canonical_value(lo)},{_canonical_value(hi)}]"
     return f"{attribute}{op}{_canonical_value(value)}"
 
 

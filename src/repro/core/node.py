@@ -34,12 +34,17 @@ class SubscriptionSpec:
     Membership is re-evaluated on every maintenance tick: the attribute's
     ``onSubscribe`` / ``onUnsubscribe`` handlers decide if present, else the
     ``default_predicate`` on the current value, else static membership.
+
+    ``eager`` subscriptions are additionally re-evaluated the moment their
+    attribute's value changes (bucketed range indices need re-bucketing to
+    happen before the next query, not at the next tick).
     """
 
     topic: str
     attribute: Optional[str] = None
     scope: str = "global"
     default_predicate: Optional[Callable[[Any], bool]] = None
+    eager: bool = False
 
 
 class RBayNode(PastryNode):
@@ -112,8 +117,16 @@ class RBayNode(PastryNode):
         return self.aa.value(name)
 
     def update_attribute(self, name: str, value: Any) -> None:
-        """Monitoring-infrastructure update path (e.g. the libvirt feed)."""
+        """Monitoring-infrastructure update path (e.g. the libvirt feed).
+
+        Eager subscriptions on the updated attribute re-evaluate
+        immediately, moving the node between value-range buckets in the
+        same event rather than at the next maintenance tick.
+        """
         self.aa.set_value(name, value)
+        for spec in list(self.subscriptions.values()):
+            if spec.eager and spec.attribute == name:
+                self._evaluate_subscription(spec)
 
     def has_attribute(self, name: str) -> bool:
         return name in self.aa.attributes

@@ -80,6 +80,12 @@ class RBayConfig:
     #: Staleness bound (ms) for the query executor's step-1 probe cache;
     #: 0 disables it (every query probes, the paper's baseline).
     probe_cache_ms: float = 0.0
+    #: Cost-based routing of range predicates over bucketed attribute
+    #: indices (see :meth:`RBay.register_buckets`).  False is the
+    #: planner-off ablation: range queries probe and search the whole
+    #: bucket family with strict per-member checks.  Per-query
+    #: ``QueryOptions.planner`` overrides this default.
+    planner: bool = True
     #: Timed-out query-protocol steps (probe round, anycast, remote site
     #: request) are retried this many times through the truncated-
     #: exponential backoff before being written off; 0 is the
@@ -166,6 +172,7 @@ class RBay:
             max_step_retries=cfg.site_retries,
             retry_slot_ms=cfg.retry_slot_ms,
             retry_rng=self.streams.stream("query-retry"),
+            planner_enabled=cfg.planner,
             _internal=True,
         )
         #: Bounded in-flight window every facade query is admitted through.
@@ -310,11 +317,50 @@ class RBay:
         """Dynamically add a node (protocol join when ``join_via`` given)."""
         node = self.overlay.create_node(site)
         self._wire_node(node)
+        for attribute in self.context.bucket_index.attributes():
+            self.subscribe_bucketed(node, self.context.bucket_index.spec_for(attribute))
         if self.sanitizer is not None:
             self.sanitizer.watch_node(node)
         if join_via is not None:
             self.overlay.join(node, join_via)
         return node
+
+    # ------------------------------------------------------------------
+    # Bucketed range indices
+    # ------------------------------------------------------------------
+    def register_buckets(self, attribute: str, lo: float, hi: float,
+                         buckets: int = 8) -> "BucketSpec":
+        """Range-partition ``attribute`` into ``buckets`` even value ranges.
+
+        Every existing node subscribes to the bucket containing its
+        current value (one Scribe tree per bucket, with the usual count
+        roll-up) and re-buckets eagerly when the value crosses a
+        boundary; nodes added later are subscribed automatically.  Range
+        predicates and GROUP BY on the attribute are then served by the
+        cost-based planner (:mod:`repro.query.planner`).  Registering the
+        same partition twice is a no-op; a conflicting partition raises.
+        """
+        from repro.scribe.buckets import BucketSpec
+
+        spec = self.context.bucket_index.register(
+            BucketSpec(attribute, float(lo), float(hi), int(buckets)))
+        for node in self.nodes:
+            self.subscribe_bucketed(node, spec)
+        return spec
+
+    def subscribe_bucketed(self, node: RBayNode, spec: "BucketSpec") -> None:
+        """Install one eager membership rule per bucket on ``node``."""
+        from repro.core.naming import site_tree
+        from repro.core.node import SubscriptionSpec
+
+        for bucket in spec.buckets:
+            node.subscribe(SubscriptionSpec(
+                topic=site_tree(node.site.name, bucket.tree),
+                attribute=spec.attribute,
+                scope=self.config.tree_scope,
+                default_predicate=(lambda value, b=bucket: b.contains(value)),
+                eager=True,
+            ))
 
     # ------------------------------------------------------------------
     # Access

@@ -35,6 +35,7 @@ from repro.query.options import QueryOptions
 from repro.query.predicates import Predicate
 from repro.query.result import QueryResult
 from repro.query.sql import Query
+from repro.scribe.buckets import BucketIndex
 from repro.scribe.cache import TTLCache
 from repro.sim.engine import Simulator
 from repro.sim.futures import Future, FutureTimeout, gather
@@ -118,6 +119,8 @@ class QueryContext:
         max_step_retries: int = 2,
         retry_slot_ms: float = 50.0,
         retry_rng: Optional[random.Random] = None,
+        bucket_index: Optional["BucketIndex"] = None,
+        planner_enabled: bool = True,
         _internal: bool = False,
     ):
         from repro.core.naming import AttributeHierarchy  # lazy: avoids cycle
@@ -158,6 +161,14 @@ class QueryContext:
         #: ``(frozen_result, committed_count)``; the invariant sanitizer
         #: subscribes here.  Empty by default (zero-cost when unused).
         self.result_listeners: List[Any] = []
+        #: Registry of range-partitioned (bucketed) attributes; range
+        #: predicates on registered attributes are routed by the
+        #: cost-based planner (:mod:`repro.query.planner`) instead of the
+        #: legacy one-tree-per-predicate path.
+        self.bucket_index = bucket_index if bucket_index is not None else BucketIndex()
+        #: Default for the planner (per-query ``QueryOptions.planner``
+        #: overrides it); False runs the bucket-unaware flood baseline.
+        self.planner_enabled = planner_enabled
 
     def set_gateway(self, site_name: str, address: int) -> None:
         self.gateways[site_name] = address
@@ -224,6 +235,25 @@ class QueryApplication(Application):
         """Tree sizes still fresh in the probe cache (planner ordering)."""
         return self.probe_cache.fresh_items(
             self.context.sim.now, self.context.probe_cache_ms)
+
+    def cardinality_hints(self, node: "RBayNode") -> Dict[str, int]:
+        """Cached tree sizes the cost-based planner may trust: fresh
+        step-1 probe answers plus fresh "count" aggregates from the
+        co-located scribe result cache (write-through on every
+        ``agg_value`` this node sees).  Bounded by the same
+        ``probe_cache_ms`` staleness budget the probe cache honours —
+        with the cache disabled the planner gets no hints and never
+        skips a probe round."""
+        hints = dict(self.probe_size_hints())
+        ttl = self.context.probe_cache_ms
+        scribe = node.apps.get("scribe")
+        if ttl > 0 and scribe is not None and scribe.result_cache is not None:
+            fresh = scribe.result_cache.fresh_items(self.context.sim.now, ttl)
+            for key, value in fresh.items():
+                if (isinstance(key, tuple) and len(key) == 2
+                        and key[1] == "count" and value is not None):
+                    hints.setdefault(key[0], int(value))
+        return hints
 
     # ------------------------------------------------------------------
     # Coordinator (the "query interface" near the customer)
@@ -295,7 +325,8 @@ class QueryApplication(Application):
                 if site_name == node.site.name:
                     future = self._run_site(node, query_id, query,
                                             opts.payload, opts.caller,
-                                            retries=retries)
+                                            retries=retries,
+                                            planner=opts.planner)
                 else:
                     gateway = self.context.gateways.get(site_name)
                     if gateway is None:
@@ -304,7 +335,7 @@ class QueryApplication(Application):
                         node, gateway, query_id, query, opts.payload,
                         opts.caller, retries_used, site_name=site_name,
                         parent_ctx=None if root_span is None else root_span.ctx,
-                        retries=retries)
+                        retries=retries, planner=opts.planner)
                 future.add_callback(self._tag_site(answered, site_name))
                 site_futures.append(future)
                 fanned_out.append(site_name)
@@ -326,7 +357,12 @@ class QueryApplication(Application):
             # A caller whose deadline already fired cannot take the nodes:
             # treat the result as declined and release every reservation.
             caller_gone = done.resolved
-            if satisfied and not caller_gone:
+            if query.group_by is not None:
+                # Group queries return counts, not nodes: members are
+                # never reserved (see ``visit``), so there is nothing to
+                # commit or release.
+                committed, released = [], []
+            elif satisfied and not caller_gone:
                 committed, released = selected, rejected
             else:
                 # A short query commits nothing: every reservation is
@@ -375,6 +411,8 @@ class QueryApplication(Application):
 
     def _select(self, query: Query, entries: List[Dict[str, Any]]):
         """Order candidates (GROUPBY) and split into taken / surplus."""
+        if query.group_by is not None:
+            return self._select_groups(query, entries), []
         deduped: Dict[int, Dict[str, Any]] = {}
         for entry in entries:
             deduped.setdefault(entry["address"], entry)
@@ -386,6 +424,34 @@ class QueryApplication(Application):
             )
         cutoff = len(ordered) if query.k is None else query.k
         return ordered[:cutoff], ordered[cutoff:]
+
+    def _select_groups(self, query: Query,
+                       entries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Fold GROUP BY evidence into sorted ``{"group", "count"}`` rows.
+
+        Evidence arrives in two shapes: pushed-down bucket roll-up counts
+        (``{"group", "count"}``, no address) and per-member labels from
+        the collect path (``{"address", "group"}``).  Members are deduped
+        by address before counting so disjunctive WHERE branches and
+        anycast re-visits never double-count.
+        """
+        totals: Dict[str, int] = {}
+        seen: set = set()
+        for entry in entries:
+            if "count" in entry:
+                label = entry["group"]
+                totals[label] = totals.get(label, 0) + int(entry["count"])
+            else:
+                address = entry.get("address")
+                if address in seen:
+                    continue
+                seen.add(address)
+                label = entry["group"]
+                totals[label] = totals.get(label, 0) + 1
+        rows = [{"group": label, "count": count}
+                for label, count in sorted(totals.items()) if count > 0]
+        cutoff = len(rows) if query.k is None else query.k
+        return rows[:cutoff]
 
     @staticmethod
     def _order_key(value: Any):
@@ -414,7 +480,8 @@ class QueryApplication(Application):
                          retries_used: Optional[List[int]] = None,
                          site_name: Optional[str] = None,
                          parent_ctx=None,
-                         retries: Optional[int] = None) -> Future:
+                         retries: Optional[int] = None,
+                         planner: Optional[bool] = None) -> Future:
         """Send a site_query to ``gateway``, retrying lost rounds.
 
         Each attempt uses a fresh request id with its own per-attempt
@@ -451,10 +518,12 @@ class QueryApplication(Application):
                     "k": query.k,
                     "where": [[p.pack() for p in conjunction] for conjunction in query.where],
                     "order_by": query.order_by,
+                    "group_by": query.group_by,
                     "payload": payload,
                     "caller": caller,
                     "origin": node.address,
                     "retries": retries,
+                    "planner": planner,
                 })
 
             def _on_reply(value: Any) -> None:
@@ -496,7 +565,8 @@ class QueryApplication(Application):
     # ------------------------------------------------------------------
     def _run_site(self, node: "RBayNode", query_id: int, query: Query,
                   payload: Optional[Dict[str, Any]], caller: Optional[str],
-                  retries: Optional[int] = None) -> Future:
+                  retries: Optional[int] = None,
+                  planner: Optional[bool] = None) -> Future:
         return self._site_query_dnf(
             node, query_id,
             k=query.k,
@@ -505,27 +575,37 @@ class QueryApplication(Application):
             payload=payload,
             caller=caller,
             retries=retries,
+            group_by=query.group_by,
+            planner=planner,
         )
 
     def _site_query_dnf(self, node: "RBayNode", query_id: int, k: Optional[int],
                         where: List[List[Predicate]], order_by: Optional[str],
                         payload: Optional[Dict[str, Any]],
                         caller: Optional[str],
-                        retries: Optional[int] = None) -> Future:
+                        retries: Optional[int] = None,
+                        group_by: Optional[str] = None,
+                        planner: Optional[bool] = None) -> Future:
         """Run each disjunct of a DNF WHERE clause and union the results.
 
         A node satisfying several disjuncts appears once (reservations are
-        per-query, so re-visits are idempotent).
+        per-query, so re-visits are idempotent).  GROUP BY pushdown is
+        only sound for a single conjunction — disjunctive group queries
+        must collect per-member labels so the union can dedupe by address.
         """
         sim = self.context.sim
         if len(where) <= 1:
             return self._site_query(node, query_id, k,
                                     where[0] if where else [],
-                                    order_by, payload, caller, retries=retries)
+                                    order_by, payload, caller, retries=retries,
+                                    group_by=group_by, planner=planner,
+                                    allow_pushdown=True)
         done = Future(sim)
         branches = [
             self._site_query(node, query_id, k, conjunction, order_by,
-                             payload, caller, retries=retries)
+                             payload, caller, retries=retries,
+                             group_by=group_by, planner=planner,
+                             allow_pushdown=False)
             for conjunction in where
         ]
 
@@ -554,16 +634,22 @@ class QueryApplication(Application):
     def _site_query(self, node: "RBayNode", query_id: int, k: Optional[int],
                     predicates: List[Predicate], order_by: Optional[str],
                     payload: Optional[Dict[str, Any]], caller: Optional[str],
-                    retries: Optional[int] = None) -> Future:
+                    retries: Optional[int] = None,
+                    group_by: Optional[str] = None,
+                    planner: Optional[bool] = None,
+                    allow_pushdown: bool = True) -> Future:
         from repro.core.naming import site_tree  # lazy: avoids cycle
+        from repro.query.planner import plan_group_pushdown, route_predicates
 
         sim = self.context.sim
         done = Future(sim)
         site_name = node.site.name
-        if not predicates:
+        if not predicates and group_by is None:
             sim.call_soon(done.try_resolve, {"entries": [], "tree_sizes": {},
                                              "visited": 0})
             return done
+        planner_on = (self.context.planner_enabled
+                      if planner is None else bool(planner))
         rec = self.obs.recorder
         exec_span = None
         exec_ctx = None
@@ -578,18 +664,80 @@ class QueryApplication(Application):
                 exec_span, status="timeout" if isinstance(result, FutureTimeout)
                 or result is None else "ok"))
 
+        # Route each predicate: the cost-based planner picks the tree
+        # family (bucket subset / full family / legacy candidate trees)
+        # per predicate; GROUP BY may push the whole query down into the
+        # bucket roll-ups and skip member visits entirely.
+        hints = self.cardinality_hints(node)
+        pushdown = None
+        if group_by is not None and allow_pushdown:
+            pushdown = plan_group_pushdown(self.context, predicates, group_by,
+                                           planner_on)
+        families: List[Dict[str, Any]] = []
+        if pushdown is not None:
+            if self.counters is not None:
+                self.counters.increment("query.plan.pushdown")
+            if not pushdown:
+                sim.call_soon(done.try_resolve,
+                              {"entries": [], "tree_sizes": {}, "visited": 0})
+                return done
+            families.append({
+                "predicate": None,
+                "topics": [site_tree(site_name, b.tree) for b in pushdown],
+                "exact": True,
+                "seeds": {},
+            })
+        else:
+            # Group queries must see every match, so routes are costed
+            # with an unbounded k.
+            routes = route_predicates(
+                self.context, predicates,
+                k if group_by is None else None,
+                hints, site_name, planner_on)
+            for route in routes:
+                if self.counters is not None:
+                    self.counters.increment(f"query.plan.{route.strategy}")
+                families.append({
+                    "predicate": route.predicate,
+                    "topics": [site_tree(site_name, t) for t in route.trees],
+                    "exact": route.exact,
+                    # The anycast strategy trusts cached sizes instead of
+                    # probing; seed them so the probe round skips these.
+                    "seeds": ({site_tree(site_name, t): size
+                               for t, size in route.estimates.items()}
+                              if route.strategy == "anycast" else {}),
+                })
+            if group_by is not None and not predicates:
+                spec = self.context.bucket_index.spec_for(group_by)
+                if spec is None:
+                    # No WHERE and no bucket index: there is no tree that
+                    # covers "every node holding the attribute".
+                    sim.call_soon(done.try_resolve,
+                                  {"entries": [], "tree_sizes": {},
+                                   "visited": 0})
+                    return done
+                families.append({
+                    "predicate": None,
+                    "topics": [site_tree(site_name, b.tree)
+                               for b in spec.buckets],
+                    "exact": True,
+                    "seeds": {},
+                })
+
         # Steps 1-2: probe sizes of every candidate tree, grouped by the
-        # predicate it serves.  Fresh probe-cache entries answer locally;
-        # only the remainder costs a probe round.
-        groups: List[List[str]] = [
-            [site_tree(site_name, t) for t in self.context.candidate_trees(p)]
-            for p in predicates
-        ]
+        # predicate it serves.  Planner seeds and fresh probe-cache
+        # entries answer locally; only the remainder costs a probe round.
+        groups: List[List[str]] = [family["topics"] for family in families]
         flat = list(dict.fromkeys(t for group in groups for t in group))
         ttl = self.context.probe_cache_ms
         size_of: Dict[str, int] = {}
+        for family in families:
+            for topic, estimate in family["seeds"].items():
+                size_of.setdefault(topic, int(estimate))
         to_probe: List[str] = []
         for topic in flat:
+            if topic in size_of:
+                continue
             hit = False
             if ttl > 0:
                 hit, cached_size = self.probe_cache.get(topic, sim.now, ttl)
@@ -661,6 +809,17 @@ class QueryApplication(Application):
             _after_probe()
 
         def _after_probe() -> None:
+            # GROUP BY pushdown: the bucket roll-up counts *are* the
+            # per-group answer — no anycast, no member visits at all.
+            if pushdown is not None:
+                rows = [
+                    {"group": bucket.label, "count": size_of.get(topic, 0)}
+                    for bucket, topic in zip(pushdown, families[0]["topics"])
+                    if size_of.get(topic, 0) > 0
+                ]
+                done.try_resolve({"entries": rows, "tree_sizes": size_of,
+                                  "visited": 0})
+                return
             # Step 3: pick the predicate whose tree family is smallest.
             totals = [sum(size_of[t] for t in group) for group in groups]
             best_index: Optional[int] = None
@@ -679,25 +838,42 @@ class QueryApplication(Application):
             # the tree indexes), so members re-check only the remaining
             # predicates — the paper's step 4i checks "if its node has less
             # CPU utilization", not the instance-type the tree already
-            # encodes.  Re-check the chosen predicate anyway when its
-            # attribute is present locally (guards against stale
-            # membership between maintenance ticks).
+            # encodes.  Bucket families are exact only when every searched
+            # bucket lies fully inside the predicate's interval; a
+            # partially-overlapping bucket keeps its predicate strict.
+            # Re-check implied predicates anyway when the attribute is
+            # present locally (guards against stale membership between
+            # maintenance ticks).
             local_predicates = []
-            for index, predicate in enumerate(predicates):
-                if index == best_index:
-                    local_predicates.append((predicate.pack(), True))
-                else:
-                    local_predicates.append((predicate.pack(), False))
-            state = {
-                "kind": "query",
-                "query_id": query_id,
-                "k": k if k is not None else UNBOUNDED_K,
-                "caller": caller,
-                "payload": payload,
-                "predicates": local_predicates,
-                "order_by": order_by,
-                "entries": [],
-            }
+            for index, family in enumerate(families):
+                family_predicate = family["predicate"]
+                if family_predicate is None:
+                    continue  # the synthetic whole-family GROUP BY entry
+                local_predicates.append(
+                    (family_predicate.pack(),
+                     index == best_index and family["exact"]))
+            if group_by is not None:
+                # Collect path: every match contributes its group label;
+                # members are never reserved, so k is unbounded.
+                state = {
+                    "kind": "gquery",
+                    "query_id": query_id,
+                    "k": UNBOUNDED_K,
+                    "predicates": local_predicates,
+                    "group_by": group_by,
+                    "entries": [],
+                }
+            else:
+                state = {
+                    "kind": "query",
+                    "query_id": query_id,
+                    "k": k if k is not None else UNBOUNDED_K,
+                    "caller": caller,
+                    "payload": payload,
+                    "predicates": local_predicates,
+                    "order_by": order_by,
+                    "entries": [],
+                }
             self._anycast_chain(node, topics, state, size_of, done,
                                 parent=exec_ctx, retries=retries)
 
@@ -788,8 +964,13 @@ class QueryApplication(Application):
     # Anycast visitor (runs at each visited member; wired by the plane)
     # ------------------------------------------------------------------
     def visit(self, node: "RBayNode", topic: str, state: Dict[str, Any]) -> bool:
-        """Per-member step 4: predicates + AA authorization + reservation."""
-        if state.get("kind") != "query":
+        """Per-member step 4: predicates + AA authorization + reservation.
+
+        ``gquery`` visits (the GROUP BY collect path) only contribute a
+        group label: they run the predicate checks but never authorize or
+        reserve, because a count query takes no nodes.
+        """
+        if state.get("kind") not in ("query", "gquery"):
             return False
         strict: List[Predicate] = []
         implied: List[Predicate] = []
@@ -799,6 +980,18 @@ class QueryApplication(Application):
                 (implied if is_implied else strict).append(Predicate.unpack(packed_pred))
             else:
                 strict.append(Predicate.unpack(packed))
+        if state["kind"] == "gquery":
+            from repro.query.planner import group_label  # lazy: avoids cycle
+
+            group_attr = state["group_by"]
+            if (node.check_predicates(strict, implied=implied)
+                    and node.has_attribute(group_attr)):
+                state["entries"].append({
+                    "address": node.address,
+                    "group": group_label(self.context, group_attr,
+                                         node.attribute_value(group_attr)),
+                })
+            return len(state["entries"]) >= state["k"]
         entry = node.consider_for_query(
             state["query_id"], state.get("caller"), strict, state.get("payload"),
             implied=implied,
@@ -826,6 +1019,8 @@ class QueryApplication(Application):
                 node, data["query_id"], data["k"], where,
                 data.get("order_by"), data.get("payload"), data.get("caller"),
                 retries=data.get("retries"),
+                group_by=data.get("group_by"),
+                planner=data.get("planner"),
             )
 
             def _reply(site_result: Any) -> None:

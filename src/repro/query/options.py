@@ -47,6 +47,11 @@ class QueryOptions:
         Site name whose query interface should coordinate the query (the
         facade picks a gateway node there).  ``None`` uses the first site
         in the federation registry.
+    planner:
+        Per-query override of the cost-based range planner.  ``None``
+        inherits the plane's ``planner`` config; ``False`` forces the
+        bucket-unaware baseline (probe and search the whole bucket family
+        with strict checks) — the planner-off ablation arm.
     """
 
     payload: Optional[Dict[str, Any]] = None
@@ -55,6 +60,7 @@ class QueryOptions:
     retries: Optional[int] = None
     k: Optional[int] = None
     origin: Optional[str] = None
+    planner: Optional[bool] = None
 
 
 #: Shared all-defaults instance (safe to share: the dataclass is frozen).

@@ -28,8 +28,13 @@ class PredicatePlan:
     predicate: Predicate
     trees: List[str]                  # candidate trees (hybrid-expanded)
     expanded: bool                    # True if the hierarchy expanded it
+    #: Cost-based route when the predicate hits a bucketed index; None
+    #: for the legacy candidate-tree path.
+    route: Optional["PredicateRoute"] = None
 
     def describe(self) -> str:
+        if self.route is not None and self.route.bucketed:
+            return self.route.describe()
         kind = "hierarchy-expanded" if self.expanded else "direct"
         return f"{self.predicate}  ->  {len(self.trees)} tree(s) [{kind}]"
 
@@ -46,6 +51,8 @@ class QueryPlan:
     #: Cached tree sizes (from the executor's probe cache) used to order
     #: probes and mark them skippable; empty when no hints were supplied.
     size_hints: Dict[str, int] = field(default_factory=dict)
+    #: Bucket subset a GROUP BY pushes down into (None = collect path).
+    group_pushdown: Optional[List] = None
 
     @property
     def total_probes(self) -> int:
@@ -84,6 +91,17 @@ class QueryPlan:
         checks = ", ".join(str(p) for p in self.local_checks()) or "none"
         lines.append(f"  step 4 (at each member): predicates [{checks}] "
                      "+ AA onGet authorization + reservation")
+        if self.query.group_by:
+            if self.group_pushdown is not None:
+                lines.append(f"  group by {self.query.group_by}: pushed down "
+                             f"into {len(self.group_pushdown)} bucket "
+                             "roll-up(s) — zero member visits")
+            else:
+                lines.append(f"  group by {self.query.group_by}: collect "
+                             "per-member labels, dedupe by address, count")
+            lines.append("  step 5: fold group counts "
+                         "(group queries reserve nothing)")
+            return "\n".join(lines)
         k = self.query.k if self.query.k is not None else "all"
         commit = f"commit best {k}"
         if self.query.order_by:
@@ -102,20 +120,29 @@ def plan_query(query: Query, context: "QueryContext",
     sizes (smallest first, unknown last) and report how many step-1
     probes a warm cache would answer without messages.
     """
+    from repro.query.planner import plan_group_pushdown, route_predicate
+
     target_sites = list(query.sites) if query.sites is not None else list(context.site_names)
     plan = QueryPlan(query=query, target_sites=target_sites,
                      size_hints=dict(size_hints or {}))
+    if query.group_by is not None and not query.is_disjunctive():
+        plan.group_pushdown = plan_group_pushdown(
+            context, query.predicates, query.group_by,
+            context.planner_enabled)
     seen = set()
     for conjunction in (query.where or [[]]):
         for predicate in conjunction:
             if predicate.pack() in seen:
                 continue
             seen.add(predicate.pack())
-            trees = context.candidate_trees(predicate)
+            route = route_predicate(context, predicate, query.k,
+                                    plan.size_hints, site_name=None,
+                                    planner_on=context.planner_enabled)
             plan.predicate_plans.append(PredicatePlan(
                 predicate=predicate,
-                trees=trees,
-                expanded=len(trees) > 1,
+                trees=list(route.trees),
+                expanded=route.strategy == "direct" and len(route.trees) > 1,
+                route=route,
             ))
     for site_name in target_sites:
         topics: List[str] = []

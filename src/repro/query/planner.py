@@ -1,0 +1,243 @@
+"""Cost-based planning of range predicates over bucketed attribute trees.
+
+The five-step protocol's step 1 historically probed one candidate tree
+family per predicate and anycast the smallest.  With range-partitioned
+bucket indices (:mod:`repro.scribe.buckets`) a range predicate has three
+ways to run inside a site, and the right one depends on cached
+cardinality knowledge:
+
+* **probe** — size-probe the buckets overlapping the predicate's
+  interval, then anycast them ascending.  Pays 2 messages per uncached
+  bucket up front, visits only members inside the interval.
+* **anycast** — when *every* overlapping bucket has a fresh cached size
+  (the executor's step-1 probe cache, write-through from the scribe
+  aggregate result cache), skip the probe round entirely and anycast
+  straight into the cached-ascending order.
+* **flood** — search the whole bucket family with strict per-member
+  checks.  The only option when the operator is not interval-shaped
+  (``<>`` on a bucketed attribute) and the planner-off baseline for
+  everything: probe all ``N`` buckets, visit members regardless of
+  interval overlap.
+
+The unit of cost is *messages per site*: probes cost 2 (request +
+reply), each visited member costs 1.  Unknown bucket sizes are assumed
+to hold :data:`DEFAULT_SIZE_ESTIMATE` members.  The model is
+deliberately coarse — its job is ordinal (pick the cheapest shape), not
+cardinal, and the golden tests in ``tests/test_query_planner.py`` pin
+its choices so regressions show up as plan diffs.
+
+GROUP BY pushdown: when every predicate of a single-conjunction WHERE
+targets the grouped attribute and every bucket overlapping a predicate
+is *fully contained* in its interval, the per-group counts are exactly
+the bucket roll-up sizes — the query needs no member visits at all
+(:func:`plan_group_pushdown`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.query.predicates import Predicate
+from repro.scribe.buckets import Bucket, BucketSpec, predicate_interval
+
+if TYPE_CHECKING:
+    from repro.query.executor import QueryContext
+
+#: Members assumed in a bucket whose size is not cached (coarse prior).
+DEFAULT_SIZE_ESTIMATE = 8
+
+#: Cost stand-in for "visit every match" (SELECT * / unbounded k).
+_UNBOUNDED = 1_000_000
+
+
+@dataclass
+class PredicateRoute:
+    """How one predicate is served inside a site, with its costing.
+
+    ``trees`` are site-unqualified; the executor qualifies them with the
+    site name.  ``exact`` means membership of every tree in the family
+    implies the predicate (the step-4 check may treat it as implied);
+    bucket routes are exact only when each bucket lies fully inside the
+    predicate's interval.
+    """
+
+    predicate: Predicate
+    strategy: str                       # direct | probe | anycast | flood | empty
+    trees: List[str] = field(default_factory=list)
+    exact: bool = True
+    bucketed: bool = False
+    costs: Dict[str, float] = field(default_factory=dict)
+    #: Site-unqualified tree -> cached size, for seeding the anycast
+    #: order when the probe round is skipped.
+    estimates: Dict[str, int] = field(default_factory=dict)
+    reason: str = ""
+
+    def describe(self) -> str:
+        """One-line rendering for EXPLAIN output and plan-diff tests."""
+        parts = [f"{self.predicate}  ->  {self.strategy}"]
+        if self.bucketed:
+            parts.append(f"{len(self.trees)} bucket(s)")
+            cost_bits = ", ".join(
+                f"{name}={self.costs[name]:g}"
+                for name in ("anycast", "probe", "flood")
+                if name in self.costs)
+            if cost_bits:
+                parts.append(f"[cost {cost_bits}]")
+        else:
+            parts.append(f"{len(self.trees)} tree(s)")
+        if self.reason:
+            parts.append(f"({self.reason})")
+        return "  ".join(parts)
+
+
+def _estimate(hints: Dict[str, int], qualify, tree: str) -> Optional[int]:
+    """Cached size for a (site-qualified) tree, or None when unknown."""
+    value = hints.get(qualify(tree))
+    return None if value is None else int(value)
+
+
+def route_predicate(
+    context: "QueryContext",
+    predicate: Predicate,
+    k: Optional[int],
+    hints: Optional[Dict[str, int]] = None,
+    site_name: Optional[str] = None,
+    planner_on: bool = True,
+) -> PredicateRoute:
+    """Choose how to serve one predicate inside one site.
+
+    ``hints`` maps site-qualified topics to cached sizes (the executor's
+    ``probe_size_hints`` plus fresh scribe result-cache counts); when
+    ``site_name`` is None the hints are looked up unqualified.
+    """
+    from repro.core.naming import site_tree  # lazy: avoids cycle
+
+    hints = hints or {}
+    qualify = (lambda t: site_tree(site_name, t)) if site_name else (lambda t: t)
+    spec: Optional[BucketSpec] = context.bucket_index.spec_for(predicate.attribute)
+    interval = (None if spec is None
+                else predicate_interval(predicate.op, predicate.value))
+    servable = interval is not None or (
+        spec is not None and predicate.op in ("<>", "!="))
+    if not servable:
+        # Not served by a bucket index: the legacy candidate-tree path.
+        return PredicateRoute(
+            predicate=predicate, strategy="direct",
+            trees=context.candidate_trees(predicate), exact=True,
+            reason="no bucket index" if spec is None else "non-range operator")
+
+    family = spec.buckets
+    overlapping = spec.covering(predicate.op, predicate.value)
+    k_eff = _UNBOUNDED if k is None else max(1, k)
+
+    def est(bucket: Bucket) -> int:
+        cached = _estimate(hints, qualify, bucket.tree)
+        return DEFAULT_SIZE_ESTIMATE if cached is None else cached
+
+    family_visits = sum(est(b) for b in family)
+    uncached_family = sum(
+        1 for b in family if _estimate(hints, qualify, b.tree) is None)
+    costs: Dict[str, float] = {
+        "flood": 2.0 * uncached_family + min(k_eff, family_visits),
+    }
+
+    if not planner_on or overlapping is None:
+        # Planner off (or an operator no interval covers): strict search
+        # of the whole family.  Membership implies only a bucket's range,
+        # never the predicate, so the checks stay strict.
+        reason = ("planner off" if not planner_on
+                  else f"operator {predicate.op!r} spans all buckets")
+        return PredicateRoute(
+            predicate=predicate, strategy="flood",
+            trees=[b.tree for b in family], exact=False, bucketed=True,
+            costs=costs, reason=reason)
+
+    if not overlapping:
+        return PredicateRoute(
+            predicate=predicate, strategy="empty", trees=[], exact=True,
+            bucketed=True, costs=costs, reason="predicate accepts no values")
+
+    exact = all(spec.fully_contained(b, predicate.op, predicate.value)
+                for b in overlapping)
+    overlap_visits = sum(est(b) for b in overlapping)
+    cached = {b.tree: _estimate(hints, qualify, b.tree) for b in overlapping}
+    uncached = [tree for tree, size in cached.items() if size is None]
+    costs["probe"] = 2.0 * len(uncached) + min(k_eff, overlap_visits)
+    if not uncached:
+        costs["anycast"] = float(min(k_eff, overlap_visits))
+        return PredicateRoute(
+            predicate=predicate, strategy="anycast",
+            trees=[b.tree for b in overlapping], exact=exact, bucketed=True,
+            costs=costs,
+            estimates={tree: size for tree, size in cached.items()
+                       if size is not None},
+            reason=f"all {len(overlapping)} bucket size(s) cached")
+    return PredicateRoute(
+        predicate=predicate, strategy="probe",
+        trees=[b.tree for b in overlapping], exact=exact, bucketed=True,
+        costs=costs,
+        estimates={tree: size for tree, size in cached.items()
+                   if size is not None},
+        reason=f"{len(overlapping)}/{len(family)} bucket(s) overlap")
+
+
+def route_predicates(
+    context: "QueryContext",
+    predicates: List[Predicate],
+    k: Optional[int],
+    hints: Optional[Dict[str, int]] = None,
+    site_name: Optional[str] = None,
+    planner_on: bool = True,
+) -> List[PredicateRoute]:
+    """Route every predicate of one conjunction (see :func:`route_predicate`)."""
+    return [route_predicate(context, p, k, hints, site_name, planner_on)
+            for p in predicates]
+
+
+def plan_group_pushdown(
+    context: "QueryContext",
+    predicates: List[Predicate],
+    group_by: str,
+    planner_on: bool = True,
+) -> Optional[List[Bucket]]:
+    """Buckets whose roll-up counts answer a GROUP BY without any visits.
+
+    Pushdown is sound only when the grouped attribute is bucket-indexed
+    and the (single-conjunction) WHERE restricts nothing a bucket
+    boundary does not already encode: every predicate targets the group
+    attribute and every bucket overlapping a predicate lies fully inside
+    its interval.  Returns the bucket subset to probe, or None when the
+    query must fall back to collecting per-member group labels.
+    """
+    if not planner_on:
+        return None
+    spec = context.bucket_index.spec_for(group_by)
+    if spec is None:
+        return None
+    chosen = {b.index: b for b in spec.buckets}
+    for predicate in predicates:
+        if predicate.attribute != group_by:
+            return None
+        overlapping = spec.covering(predicate.op, predicate.value)
+        if overlapping is None:
+            return None
+        if not all(spec.fully_contained(b, predicate.op, predicate.value)
+                   for b in overlapping):
+            return None
+        keep = {b.index for b in overlapping}
+        chosen = {i: b for i, b in chosen.items() if i in keep}
+    return [chosen[i] for i in sorted(chosen)]
+
+
+def group_label(context: "QueryContext", group_by: str, value: Any) -> str:
+    """The group a member's value falls in: its bucket's label when the
+    attribute is bucket-indexed, else the canonical value rendering."""
+    from repro.core.naming import _canonical_value  # lazy: avoids cycle
+
+    spec = context.bucket_index.spec_for(group_by)
+    if spec is not None:
+        bucket = spec.bucket_of(value)
+        if bucket is not None:
+            return bucket.label
+    return _canonical_value(value)

@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Tuple
 
-_OPS = ("=", "==", "<>", "!=", "<", "<=", ">", ">=")
+_OPS = ("=", "==", "<>", "!=", "<", "<=", ">", ">=", "between")
+
+#: Operators whose acceptance set is a value interval — the ones a
+#: range-partitioned bucket index (:mod:`repro.scribe.buckets`) can serve.
+RANGE_OPS = ("<", "<=", ">", ">=", "between")
 
 
 def evaluate(actual: Any, op: str, expected: Any) -> bool:
@@ -15,6 +19,10 @@ def evaluate(actual: Any, op: str, expected: Any) -> bool:
         return _loose_equal(actual, expected)
     if op in ("<>", "!="):
         return not _loose_equal(actual, expected)
+    if op == "between":
+        lo, hi = expected
+        return (_both_comparable(actual, lo) and _both_comparable(actual, hi)
+                and lo <= actual <= hi)
     if not _both_comparable(actual, expected):
         return False
     if op == "<":
@@ -46,7 +54,11 @@ def _both_comparable(actual: Any, expected: Any) -> bool:
 
 @dataclass(frozen=True)
 class Predicate:
-    """One WHERE clause term: ``attribute op value``."""
+    """One WHERE clause term: ``attribute op value``.
+
+    ``between`` predicates carry a two-element ``(lo, hi)`` tuple as their
+    value and accept the closed interval ``lo <= actual <= hi``.
+    """
 
     attribute: str
     op: str
@@ -55,12 +67,20 @@ class Predicate:
     def __post_init__(self):
         if self.op not in _OPS:
             raise ValueError(f"unsupported operator {self.op!r}")
+        if self.op == "between":
+            if not isinstance(self.value, (tuple, list)) or len(self.value) != 2:
+                raise ValueError("BETWEEN requires a (lo, hi) value pair")
+            object.__setattr__(self, "value", tuple(self.value))
 
     def matches(self, actual: Any) -> bool:
         return evaluate(actual, self.op, self.value)
 
     def is_equality(self) -> bool:
         return self.op in ("=", "==")
+
+    def is_range(self) -> bool:
+        """True for interval-shaped operators a bucket index can serve."""
+        return self.op in RANGE_OPS
 
     def pack(self) -> Tuple[str, str, Any]:
         """Serialize for message payloads."""
@@ -69,7 +89,12 @@ class Predicate:
     @classmethod
     def unpack(cls, packed: Tuple[str, str, Any]) -> "Predicate":
         attribute, op, value = packed
+        if op == "between" and isinstance(value, list):
+            value = tuple(value)
         return cls(attribute, op, value)
 
     def __str__(self) -> str:
+        if self.op == "between":
+            lo, hi = self.value
+            return f"{self.attribute} BETWEEN {lo!r} AND {hi!r}"
         return f"{self.attribute} {self.op} {self.value!r}"

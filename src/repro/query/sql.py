@@ -3,18 +3,24 @@
 Supported grammar::
 
     query    := SELECT target FROM sources [WHERE or_expr]
-                [GROUPBY name [ASC|DESC]] [LIMIT n] [;]
+                [GROUP BY name] [GROUPBY name [ASC|DESC]] [LIMIT n] [;]
     target   := <integer k> | NodeId | *
     sources  := * | site (',' site)*           -- site: quoted or bare name
     or_expr  := and_expr (OR and_expr)*        -- flattened to DNF
     and_expr := factor (AND factor)*
     factor   := pred | '(' or_expr ')'
-    pred     := name op value
+    pred     := name op value | value op name | name BETWEEN value AND value
     op       := = | == | <> | != | < | <= | > | >=
     value    := 'string' | "string" | number[%] | true | false
 
 Percent literals (``10%``) parse to their numeric value (10.0), matching
 how utilization attributes are stored (0–100).
+
+The literal-on-left form (``5 < CPU_utilization``) is normalized during
+parsing by mirroring the comparison (to ``CPU_utilization > 5``), so both
+spellings produce identical predicates.  ``GROUP BY attr`` (two words)
+aggregates matches into per-value-range counts; the historical one-word
+``GROUPBY`` remains the ORDER BY spelling of the paper's Figure 6.
 """
 
 from __future__ import annotations
@@ -44,7 +50,10 @@ _TOKEN_RE = re.compile(
 )
 
 _KEYWORDS = {"select", "from", "where", "and", "or", "groupby", "asc", "desc",
-             "order", "by", "limit"}
+             "order", "by", "limit", "between", "group"}
+
+#: Comparison mirroring for the literal-on-left predicate form.
+_MIRRORED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 @dataclass
@@ -60,6 +69,9 @@ class Query:
     k: Optional[int] = None            # None = return every match
     sites: Optional[List[str]] = None  # None = all sites ('FROM *')
     where: List[List[Predicate]] = field(default_factory=list)
+    #: GROUP BY attribute: the result is per-value-range counts instead of
+    #: node entries (bucket labels when the attribute is bucket-indexed).
+    group_by: Optional[str] = None
     order_by: Optional[str] = None
     descending: bool = False
 
@@ -86,6 +98,8 @@ class Query:
                 text += " WHERE " + disjuncts[0]
             else:
                 text += " WHERE " + " OR ".join(f"({d})" for d in disjuncts)
+        if self.group_by:
+            text += f" GROUP BY {self.group_by}"
         if self.order_by:
             text += f" GROUPBY {self.order_by} {'DESC' if self.descending else 'ASC'}"
         return text
@@ -167,6 +181,10 @@ class _Parser:
         if self.accept("kw", "where"):
             query.where = self._or_expression()
 
+        if self.accept("kw", "group"):
+            self.expect("kw", "by")
+            query.group_by = self.expect("name")
+
         if self.accept("kw", "groupby") or (
             self.accept("kw", "order") and self.expect("kw", "by")
         ):
@@ -220,9 +238,23 @@ class _Parser:
         raise SQLSyntaxError(f"bad site name {token[1]!r}")
 
     def _predicate(self) -> Predicate:
-        attribute = self.expect("name")
-        op = self.expect("op")
-        value = self._value()
+        token = self.peek()
+        if token[0] in ("number", "percent", "string"):
+            # Literal-on-left form (``5 < CPU_utilization``): mirror the
+            # comparison so both spellings yield the same predicate.
+            value = self._value()
+            op = self.expect("op")
+            attribute = self.expect("name")
+            op = _MIRRORED_OPS.get(op, op)
+        else:
+            attribute = self.expect("name")
+            if self.accept("kw", "between"):
+                lo = self._value()
+                self.expect("kw", "and")
+                hi = self._value()
+                return Predicate(attribute, "between", (lo, hi))
+            op = self.expect("op")
+            value = self._value()
         if op == "==":
             op = "="
         if op == "!=":

@@ -8,6 +8,12 @@ from repro.workloads.ec2 import (
 from repro.workloads.generator import FederationWorkload, WorkloadSpec
 from repro.workloads.queries import QueryWorkload, composite_query
 from repro.workloads.scale import ScaleSpec, run_scale
+from repro.workloads.skewed import (
+    SkewedSpec,
+    assign_skewed_values,
+    range_query_mix,
+    zipf_weights,
+)
 
 __all__ = [
     "EC2_INSTANCE_TYPES",
@@ -15,8 +21,12 @@ __all__ = [
     "INSTANCE_SPECS",
     "QueryWorkload",
     "ScaleSpec",
+    "SkewedSpec",
     "WorkloadSpec",
+    "assign_skewed_values",
     "composite_query",
     "gaussian_tree_assignment",
+    "range_query_mix",
     "run_scale",
+    "zipf_weights",
 ]

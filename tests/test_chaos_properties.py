@@ -60,6 +60,13 @@ def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
     )).build()
     workload = FederationWorkload(plane, WorkloadSpec(
         gate_policies=False, utilization_thresholds=())).apply()
+    # Bucketed range index rides along: every node gets a seeded
+    # utilization value and joins its value-range bucket tree, so range
+    # and GROUP BY queries run under the same fault schedules.
+    urng = random.Random(seed * 17 + 3)
+    for node in plane.nodes:
+        node.define_attribute("CPU_utilization", urng.uniform(0.0, 100.0))
+    plane.register_buckets("CPU_utilization", 0.0, 100.0, 4)
     plane.sim.run()
     plane.settle(1_000.0)
     # Tight protocol timeouts keep the simulated runs short.
@@ -90,7 +97,16 @@ def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
         populated = sorted(t for t, n in counts.items() if n > 0)
         itype = rng.choice(populated)
         customer = plane.make_customer(f"chaos-{seed}-{i}", site)
-        sql = f"SELECT 1 FROM {site} WHERE instance_type = '{itype}';"
+        kind = i % 3
+        if kind == 1:
+            lo = rng.uniform(0.0, 70.0)
+            hi = lo + rng.uniform(5.0, 30.0)
+            sql = (f"SELECT 1 FROM {site} WHERE CPU_utilization "
+                   f"BETWEEN {lo:g} AND {hi:g};")
+        elif kind == 2:
+            sql = f"SELECT * FROM {site} GROUP BY CPU_utilization;"
+        else:
+            sql = f"SELECT 1 FROM {site} WHERE instance_type = '{itype}';"
         at = plane.sim.now + rng.uniform(0.1, 0.9) * CHAOS_MS
 
         def fire(customer=customer, sql=sql):
@@ -159,6 +175,26 @@ def test_chaos_invariants(seed):
         got = plane.tree_size(instance_tree(site, itype), via=via, scope="site")
         assert got == expected, (
             f"{site}/{itype}: tree says {got}, ground truth {expected}")
+
+    # 4b. Bucket trees reconverged too: after the faults heal, each
+    # site's per-bucket membership equals ground truth over the raw
+    # attribute values (crashed nodes re-bucketed on recovery).
+    from repro.core.naming import site_tree
+
+    spec = plane.context.bucket_index.spec_for("CPU_utilization")
+    for site in [s.name for s in plane.registry]:
+        nodes = plane.site_nodes(site)
+        via = nodes[0]
+        for bucket in spec.buckets:
+            expected = sum(
+                1 for n in nodes
+                if n.has_attribute("CPU_utilization")
+                and bucket.contains(n.attribute_value("CPU_utilization")))
+            got = plane.tree_size(site_tree(site, bucket.tree), via=via,
+                                  scope="site")
+            assert got == expected, (
+                f"{site}/{bucket.tree}: tree says {got}, "
+                f"ground truth {expected}")
 
     # 5. The runtime sanitizer, watching throughout (periodic sweeps,
     # post-query, post-fault, and the final quiescent check), saw nothing.

@@ -136,3 +136,88 @@ def test_str_round_trip_parses():
 def test_query_helpers():
     query = parse_query("SELECT 1 FROM * WHERE a = 1 AND b < 2")
     assert len(query.equality_predicates()) == 1
+
+
+# ----------------------------------------------------------------------
+# Range extensions (ISSUE 6): BETWEEN, GROUP BY, literal-on-left.
+# ----------------------------------------------------------------------
+def test_between_parses_to_tuple_value():
+    query = parse_query(
+        "SELECT * FROM * WHERE CPU_utilization BETWEEN 10 AND 30")
+    predicate = query.predicates[0]
+    assert (predicate.op, predicate.value) == ("between", (10.0, 30.0))
+    assert predicate.is_range()
+
+
+def test_between_binds_tighter_than_and():
+    query = parse_query(
+        "SELECT * FROM * WHERE u BETWEEN 10 AND 30 AND GPU = true")
+    assert [p.op for p in query.predicates] == ["between", "="]
+
+
+def test_between_matches_is_inclusive():
+    predicate = parse_query(
+        "SELECT * FROM * WHERE u BETWEEN 10 AND 30").predicates[0]
+    assert predicate.matches(10.0) and predicate.matches(30.0)
+    assert not predicate.matches(9.999) and not predicate.matches(30.001)
+
+
+def test_between_with_percent_literals():
+    predicate = parse_query(
+        "SELECT * FROM * WHERE u BETWEEN 10% AND 30%").predicates[0]
+    assert predicate.value == (10.0, 30.0)
+
+
+def test_literal_on_left_comparison_is_mirrored():
+    # Regression: ``5 < CPU_utilization`` used to fail to parse; it must
+    # normalize to the identical predicate as ``CPU_utilization > 5``.
+    left = parse_query("SELECT * FROM * WHERE 5 < CPU_utilization")
+    right = parse_query("SELECT * FROM * WHERE CPU_utilization > 5")
+    assert left.predicates[0].pack() == right.predicates[0].pack()
+
+
+def test_literal_on_left_mirrors_every_comparison():
+    pairs = [("5 < u", (">", 5.0)), ("5 <= u", (">=", 5.0)),
+             ("5 > u", ("<", 5.0)), ("5 >= u", ("<=", 5.0)),
+             ("5 = u", ("=", 5.0)), ("5 <> u", ("<>", 5.0))]
+    for clause, (op, value) in pairs:
+        predicate = parse_query(f"SELECT * FROM * WHERE {clause}").predicates[0]
+        assert (predicate.op, predicate.value) == (op, value), clause
+
+
+def test_group_by_two_words_sets_group_by():
+    query = parse_query("SELECT * FROM * WHERE u > 5 GROUP BY u")
+    assert query.group_by == "u"
+    assert query.order_by is None
+
+
+def test_group_by_without_where():
+    assert parse_query("SELECT * FROM * GROUP BY u").group_by == "u"
+
+
+def test_group_by_coexists_with_groupby_ordering():
+    query = parse_query(
+        "SELECT * FROM * WHERE u > 5 GROUP BY u GROUPBY u DESC")
+    assert query.group_by == "u" and query.order_by == "u"
+    assert query.descending
+
+
+def test_group_by_requires_by_and_name():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT * FROM * GROUP u")
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT * FROM * GROUP BY")
+
+
+def test_between_requires_and():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT * FROM * WHERE u BETWEEN 10 30")
+
+
+def test_range_round_trip_parses():
+    original = parse_query(
+        "SELECT * FROM * WHERE u BETWEEN 10 AND 30 GROUP BY u")
+    reparsed = parse_query(str(original))
+    assert [p.pack() for p in reparsed.predicates] == [
+        p.pack() for p in original.predicates]
+    assert reparsed.group_by == original.group_by

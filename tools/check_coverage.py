@@ -43,6 +43,8 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "check" / "sanitizer.py",
     REPO / "src" / "repro" / "check" / "invariants.py",
     REPO / "src" / "repro" / "core" / "reservation.py",
+    REPO / "src" / "repro" / "query" / "planner.py",
+    REPO / "src" / "repro" / "scribe" / "buckets.py",
 ]
 
 #: Test files that exercise them.
@@ -62,6 +64,9 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_sanitizer.py",
     REPO / "tests" / "test_core_reservation.py",
     REPO / "tests" / "test_query_orphan_release.py",
+    REPO / "tests" / "test_query_planner.py",
+    REPO / "tests" / "test_scribe_buckets.py",
+    REPO / "tests" / "test_property_range_oracle.py",
 ]
 
 
@@ -150,6 +155,7 @@ def main(argv=None) -> int:
     # seed counts still touch every watched code path.
     os.environ.setdefault("RBAY_COHERENCE_CHECKS", "25")
     os.environ.setdefault("RBAY_CHAOS_SEEDS", "3")
+    os.environ.setdefault("RBAY_ORACLE_SEEDS", "3")
 
     executable = {str(t.resolve()): executable_lines(t) for t in args.targets}
     hits: Dict[str, Set[int]] = {name: set() for name in executable}
