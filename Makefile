@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos sanitize coverage trace planner examples outputs clean
+.PHONY: install test bench chaos sanitize coverage trace planner rebalance examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -73,6 +73,18 @@ planner:
 	RBAY_ORACLE_SEEDS=$${RBAY_ORACLE_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
 	  tests/test_property_range_oracle.py -q
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_planner_ablation.py \
+	  --benchmark-only -s
+
+# Hot-tree balancer (docs/architecture.md §15): hysteresis/promotion/
+# diversion/demotion suites, the skew-stress regression pins, the
+# rebalance-enabled chaos matrix, and the on/off zipf-skew ablation
+# (benchmarks/results/rebalance_skew.json).
+rebalance:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_rebalance.py \
+	  tests/test_skew_regressions.py
+	RBAY_CHAOS_SEEDS=$${RBAY_CHAOS_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
+	  tests/test_chaos_properties.py -q -k rebalanc
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_rebalance_skew.py \
 	  --benchmark-only -s
 
 examples:

@@ -26,6 +26,19 @@ The five invariants (ISSUE 5 / architecture §13):
 5. **child_acc_residency** — no node's child accumulators name an
    address that is neither a current child nor a live former-child that
    still owes this node its deferred goodbye.
+
+Hot-tree replication (ISSUE 7 / architecture §15) adds three more:
+
+6. **replica_set_agreement** — a root's replica set names only its own
+   children, live replicas acknowledge their owner, and a node serving
+   the replica role under a live parent is listed by that parent.
+7. **replica_child_partition** — while a topic has active replica state,
+   every child address is claimed by at most one live parent (the
+   re-partitioning of children across replicas is a partition, not a
+   fan-out).
+8. **replica_value_coherence** — at quiescent points, each replica's
+   served snapshot equals the root's own finalized aggregates, name for
+   name (what makes diverted reads exact rather than approximate).
 """
 
 from __future__ import annotations
@@ -230,6 +243,85 @@ def check_child_acc_residency(ctx: SanitizerContext) -> Iterator[Tuple[str, str]
                        f"former-parent orphan")
 
 
+def _replica_active(states: List[Tuple[Any, Any]]) -> bool:
+    """Does any live state of this topic carry hot-tree replica roles?"""
+    return any(state.replicas or state.replica_of is not None
+               for _, state in states)
+
+
+def check_replica_set_agreement(ctx: SanitizerContext) -> Iterator[Tuple[str, str]]:
+    """Invariant 6: replica sets and replica roles agree across the tree."""
+    for topic, states in sorted(_live_topic_states(ctx).items()):
+        by_addr = {node.address: (node, state) for node, state in states}
+        for node, state in states:
+            for addr in sorted(state.replicas):
+                if addr not in state.children:
+                    yield (topic,
+                           f"node {node.address} lists replica {addr}, "
+                           f"which is not one of its children")
+                entry = by_addr.get(addr)
+                if entry is None:
+                    continue  # dead replica: pruned next maintenance tick
+                if entry[1].replica_of != node.address:
+                    yield (topic,
+                           f"replica {addr} does not acknowledge owner "
+                           f"{node.address}")
+            if (state.replica_of is not None
+                    and state.parent == state.replica_of):
+                # Only a replica whose tree link still points at its owner
+                # is expected to be listed — one that re-homed self-demotes
+                # on its next maintenance tick.
+                owner = by_addr.get(state.replica_of)
+                if owner is not None and node.address not in owner[1].replicas:
+                    yield (topic,
+                           f"node {node.address} serves as a replica of "
+                           f"{state.replica_of}, which does not list it")
+
+
+def check_replica_child_partition(ctx: SanitizerContext) -> Iterator[Tuple[str, str]]:
+    """Invariant 7: replication re-partitions children, never fans them out."""
+    for topic, states in sorted(_live_topic_states(ctx).items()):
+        if not _replica_active(states):
+            continue
+        parents_of: Dict[int, List[int]] = {}
+        for node, state in states:
+            for child_addr in state.children:
+                parents_of.setdefault(child_addr, []).append(node.address)
+        for child_addr, parents in sorted(parents_of.items()):
+            if len(parents) > 1:
+                yield (topic,
+                       f"child {child_addr} is listed by multiple live "
+                       f"parents: {sorted(parents)}")
+
+
+def check_replica_value_coherence(ctx: SanitizerContext) -> Iterator[Tuple[str, str]]:
+    """Invariant 8: replica snapshots equal the root's finalized answers."""
+    for topic, states in sorted(_live_topic_states(ctx).items()):
+        roots = [(node, state) for node, state in states
+                 if state.is_root and state.replicas]
+        if len(roots) != 1:
+            continue  # no replicated root (or tree_structure owns the mess)
+        root_node, root_state = roots[0]
+        scribe = root_node.scribe
+        root_names = set(root_state.agg_names())
+        for node, state in states:
+            if (state.replica_of != root_node.address
+                    or state.replica_values is None):
+                continue
+            for agg_name in sorted(set(state.replica_values) & root_names):
+                fn = scribe.functions.get(agg_name)
+                if fn is None:
+                    continue
+                expected = fn.finalize(
+                    scribe._compute_own_acc(root_state, agg_name))
+                actual = state.replica_values[agg_name]
+                if not _values_close(expected, actual):
+                    yield (topic,
+                           f"replica {node.address} snapshot for "
+                           f"'{agg_name}' is {actual!r}, root "
+                           f"{root_node.address} computes {expected!r}")
+
+
 def _values_close(expected: Any, actual: Any) -> bool:
     """Order-of-combination float drift is fine; anything else must match."""
     if isinstance(expected, float) or isinstance(actual, float):
@@ -245,7 +337,7 @@ def _values_close(expected: Any, actual: Any) -> bool:
 
 
 def default_invariants() -> List[Invariant]:
-    """The five built-in invariants, in check order."""
+    """The built-in invariants, in check order."""
     return [
         Invariant(
             name="tree_structure",
@@ -280,5 +372,26 @@ def default_invariants() -> List[Invariant]:
             description="child accumulators only name current children or "
                         "tracked former-parent orphans",
             grace=True,
+        ),
+        Invariant(
+            name="replica_set_agreement",
+            check=check_replica_set_agreement,
+            description="replica sets name only children, and replica "
+                        "roles are mutually acknowledged",
+            grace=True,
+        ),
+        Invariant(
+            name="replica_child_partition",
+            check=check_replica_child_partition,
+            description="while replicas are active, each child is claimed "
+                        "by at most one live parent",
+            grace=True,
+        ),
+        Invariant(
+            name="replica_value_coherence",
+            check=check_replica_value_coherence,
+            description="replica snapshots equal the root's finalized "
+                        "aggregates at quiescence",
+            quiescent_only=True,
         ),
     ]

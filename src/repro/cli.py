@@ -60,6 +60,7 @@ def _build_plane(args) -> tuple:
         sanitize=getattr(args, "sanitize", False),
         sanitize_sweep_events=getattr(args, "sanitize_sweep", 5_000),
         sanitize_fail_fast=getattr(args, "sanitize_fail_fast", False),
+        rebalance=getattr(args, "rebalance", False),
     )
     plane = RBay(config).build()
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
@@ -148,6 +149,10 @@ def _common_parser() -> argparse.ArgumentParser:
     common.add_argument("--sanitize-fail-fast", action="store_true",
                         help="raise on the first invariant violation "
                              "instead of collecting a report")
+    common.add_argument("--rebalance", action="store_true",
+                        help="enable load-triggered hot-tree root "
+                             "replication (D3-Tree style rebalancing "
+                             "under skewed workloads)")
     return common
 
 

@@ -165,6 +165,22 @@ class RBayNode(PastryNode):
         elif not want and member:
             self.scribe.leave(self, spec.topic)
 
+    def on_recover(self) -> None:
+        """Crash-recovery re-wiring (called by the fault injector after the
+        Pastry-level ``announce``).
+
+        Two things are lost while a host is down: joins the network
+        suppressed, and eager re-bucketing driven by attribute updates the
+        node applied while detached.  ``_evaluate_subscription`` alone
+        cannot repair the first — the member flag already matches the
+        desired state, so it no-ops — hence the explicit re-join of every
+        detached member tree.
+        """
+        for spec in list(self.subscriptions.values()):
+            if spec.eager:
+                self._evaluate_subscription(spec)
+        self.scribe.rejoin_detached(self)
+
     def maintenance_tick(self) -> None:
         """One onTimer cycle: attribute timers, membership, overlay and
         tree repair."""

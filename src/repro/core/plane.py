@@ -131,6 +131,30 @@ class RBayConfig:
     #: invariants only report findings that persist this long past the
     #: last fault activity.
     sanitize_grace_ms: float = 2_500.0
+    #: Load-triggered hot-tree balancing (docs/architecture.md §15): roots
+    #: whose per-window message load stays hot spawn replicas and
+    #: re-partition their children across them; replicas serve diverted
+    #: reads from a root-coherent snapshot and are demoted when load
+    #: subsides.  Off by default — with it off the replication protocol is
+    #: inert and the wire behaviour is byte-identical.
+    rebalance: bool = False
+    #: Messages per window at (or above) which a root's window counts as
+    #: hot toward promotion.
+    rebalance_hot_threshold: int = 200
+    #: Messages per window at (or below) which a window counts as cool
+    #: toward demotion (the gap between the thresholds is the hysteresis
+    #: dead band).
+    rebalance_cool_threshold: int = 50
+    #: Load-accounting window (ms); windows close on maintenance ticks.
+    rebalance_window_ms: float = 1_000.0
+    #: Consecutive hot windows required before a root is replicated.
+    rebalance_hot_windows: int = 2
+    #: Consecutive cool windows required before replicas are demoted.
+    rebalance_cool_windows: int = 3
+    #: Root replicas spawned per promotion.
+    rebalance_max_replicas: int = 2
+    #: Minimum root children for replication to be worthwhile.
+    rebalance_min_children: int = 2
 
 
 class RBay:
@@ -296,12 +320,27 @@ class RBay:
 
     def _wire_node(self, node: RBayNode) -> None:
         recorder = self.obs.recorder if self.obs.enabled else None
+        rebalance_cfg = None
+        if self.config.rebalance:
+            from repro.scribe.rebalance import RebalanceConfig
+
+            rebalance_cfg = RebalanceConfig(
+                hot_threshold=self.config.rebalance_hot_threshold,
+                cool_threshold=self.config.rebalance_cool_threshold,
+                window_ms=self.config.rebalance_window_ms,
+                hot_windows=self.config.rebalance_hot_windows,
+                cool_windows=self.config.rebalance_cool_windows,
+                max_replicas=self.config.rebalance_max_replicas,
+                min_children=self.config.rebalance_min_children,
+            )
         scribe = ScribeApplication(self.sim,
                                    agg_flush_ms=(self.config.agg_flush_ms
                                                  if self.config.batching else 0.0),
                                    cache_enabled=self.config.aggregate_cache,
                                    counters=self.counters,
-                                   recorder=recorder)
+                                   recorder=recorder,
+                                   rebalance=rebalance_cfg,
+                                   metrics=self.obs.metrics)
         query_app = QueryApplication(self.context, counters=self.counters,
                                      obs=self.obs)
         if recorder is not None:

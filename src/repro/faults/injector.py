@@ -171,6 +171,11 @@ class FaultInjector:
             # Peers purged us while we were down; re-introduce ourselves so
             # routes (and hence tree rendezvous) reach this node again.
             node.announce()
+        if hasattr(node, "on_recover"):
+            # Application-level recovery: replay suppressed tree joins and
+            # eager re-bucketing (updates applied while down moved values
+            # across bucket boundaries without the join going anywhere).
+            node.on_recover()
         paused = self._paused_maintenance.pop(index, None)
         if paused is not None:
             interval, jitter_fn = paused

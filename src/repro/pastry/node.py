@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.net.message import Message
 from repro.net.network import Host
@@ -269,6 +269,30 @@ class PastryNode(Host):
         """Failure detection: in the simulator, liveness is observable at
         connection time (models an immediate TCP connect failure)."""
         return self.network is not None and self.network.has_host(ref.address)
+
+    def closest_neighbors(self, key: NodeId, count: int, scope: str = "global",
+                          exclude: Optional[set] = None) -> List[NodeRef]:
+        """The ``count`` live leaf-set members numerically closest to ``key``.
+
+        Replica placement for the hot-tree rebalancer: these are the same
+        neighbors a converged overlay would anchor the key at if this node
+        left, so repeated selections at a stable ring pick a stable replica
+        set.  Ties break toward the numerically smaller id, mirroring the
+        rendezvous rule.
+        """
+        leaf_set, _ = self._state(scope)
+        seen = {self.address} | (set(exclude) if exclude else set())
+        picks: List[NodeRef] = []
+        for ref in sorted(leaf_set.members(),
+                          key=lambda r: (r.node_id.distance(key),
+                                         r.node_id.value)):
+            if ref.address in seen or not self._is_alive(ref):
+                continue
+            seen.add(ref.address)
+            picks.append(ref)
+            if len(picks) >= count:
+                break
+        return picks
 
     # ------------------------------------------------------------------
     # State maintenance

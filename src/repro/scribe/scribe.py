@@ -41,7 +41,7 @@ class TopicState:
     __slots__ = (
         "topic", "key", "scope", "parent", "former_parent", "is_root", "member",
         "children", "local", "child_acc", "last_pushed",
-        "dirty",
+        "dirty", "replicas", "replica_of", "replica_values", "replica_peers",
     )
 
     def __init__(self, topic: str, key: NodeId, scope: str = "global"):
@@ -66,6 +66,14 @@ class TopicState:
         # once per child); the flush timer itself is node-level, on the
         # owning ScribeApplication.
         self.dirty: set = set()
+        # Hot-tree replication (docs/architecture.md §15).  At the root:
+        # addresses of the interior children promoted to replicas.  At a
+        # replica: the root's address, the root-pushed finalized snapshot
+        # served to diverted readers, and the peer hint list echoed to them.
+        self.replicas: Dict[int, NodeRef] = {}
+        self.replica_of: Optional[int] = None
+        self.replica_values: Optional[Dict[str, Any]] = None
+        self.replica_peers: List[int] = []
 
     def in_tree(self) -> bool:
         return self.is_root or self.parent is not None or bool(self.children) or self.member
@@ -90,6 +98,8 @@ class ScribeApplication(Application):
         cache_enabled: bool = True,
         counters: Optional[CounterRegistry] = None,
         recorder=None,
+        rebalance=None,
+        metrics=None,
     ):
         self.sim = sim
         #: Span recorder for the causal observability plane (NULL = off).
@@ -125,6 +135,16 @@ class ScribeApplication(Application):
         #: changes (membership, child set, pushed accumulators).  The query
         #: layer hooks this to invalidate its probe cache.
         self.tree_change_listeners: List[Callable[[str], None]] = []
+        #: Hot-tree balancer (None = rebalancing off; the protocol below is
+        #: then fully inert and the wire behaviour is byte-identical).
+        if rebalance is not None and rebalance.enabled:
+            from repro.scribe.rebalance import Rebalancer
+            self.rebalancer: Optional[Any] = Rebalancer(sim, rebalance, metrics)
+        else:
+            self.rebalancer = None
+        #: Replica hints learned from ``agg_value`` replies: topic -> live
+        #: replica addresses this client may divert reads to.
+        self._replica_hints: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Public API (called with the owning node)
@@ -240,7 +260,7 @@ class ScribeApplication(Application):
             future.add_callback(lambda result: rec.end(
                 span, status="error" if isinstance(result, Exception) else "ok"))
         with rec.use(span):
-            node.route(state.key, self.name, {
+            data = {
                 "op": "anycast",
                 "topic": topic,
                 "scope": state.scope,
@@ -249,7 +269,15 @@ class ScribeApplication(Application):
                 "visited": [],
                 "visited_members": 0,
                 "state": state_payload,
-            }, scope=state.scope)
+            }
+            target = self._divert_target(node, topic)
+            if target is not None:
+                # Start the DFS at a root replica instead of the hot root;
+                # the replica is an interior node of the same tree, so DFS
+                # coverage semantics are unchanged.
+                node.send_app(target, self.name, "anycast_divert", data)
+            else:
+                node.route(state.key, self.name, data, scope=state.scope)
         return future
 
     def set_local(self, node: PastryNode, topic: str, agg_name: str, value: Any) -> None:
@@ -318,14 +346,27 @@ class ScribeApplication(Application):
             future.add_callback(lambda result: rec.end(
                 span, status="error" if isinstance(result, Exception) else "ok"))
         with rec.use(span):
-            node.route(state.key, self.name, {
-                "op": "agg_get",
-                "topic": topic,
-                "scope": state.scope,
-                "origin": node.address,
-                "request_id": request_id,
-                "names": list(agg_names),
-            }, scope=state.scope)
+            target = self._divert_target(node, topic)
+            if target is not None:
+                # Hot-tree diversion: a previous answer advertised root
+                # replicas for this topic; ask one directly (one hop)
+                # instead of routing through the saturated rendezvous.
+                node.send_app(target, self.name, "replica_get", {
+                    "topic": topic,
+                    "scope": state.scope,
+                    "origin": node.address,
+                    "request_id": request_id,
+                    "names": list(agg_names),
+                })
+            else:
+                node.route(state.key, self.name, {
+                    "op": "agg_get",
+                    "topic": topic,
+                    "scope": state.scope,
+                    "origin": node.address,
+                    "request_id": request_id,
+                    "names": list(agg_names),
+                }, scope=state.scope)
         return future
 
     def query_aggregate_fresh(
@@ -404,6 +445,11 @@ class ScribeApplication(Application):
                 # crash-recovered parent keeps our accumulator otherwise).
                 state.former_parent = state.parent
                 state.parent = None
+                # Detaching changes what this node can answer about the
+                # tree; cached cardinality hints priced off the old link
+                # must not survive the churn (planner would probe a bucket
+                # that no longer reaches its members).
+                self._notify_tree_change(state.topic)
             if state.former_parent is not None:
                 if state.former_parent == state.parent:
                     state.former_parent = None
@@ -430,6 +476,9 @@ class ScribeApplication(Application):
                            scope=state.scope)
             if state.parent is not None and state.agg_names():
                 self._repush_all(node, state)
+        if self.rebalancer is not None:
+            self._replica_maintain(node)
+            self.rebalancer.tick(node, self)
 
     # ------------------------------------------------------------------
     # Pastry upcalls
@@ -439,10 +488,14 @@ class ScribeApplication(Application):
         data = msg.payload["data"]
         op = data["op"]
         if op == "join":
+            if self.rebalancer is not None:
+                self.rebalancer.record(data["topic"])
             return self._forward_join(node, data)
         if op == "anycast":
             state = self._topics.get(data["topic"])
             if state is not None and state.in_tree():
+                if self.rebalancer is not None:
+                    self.rebalancer.record(data["topic"])
                 self._anycast_visit(node, data)
                 return False
         return True
@@ -452,7 +505,14 @@ class ScribeApplication(Application):
         data = msg.payload["data"]
         op = data["op"]
         state = self.topic_state(data["topic"], data.get("scope"))
-        state.is_root = True
+        if self.rebalancer is not None:
+            self.rebalancer.record(data["topic"])
+        if not state.is_root:
+            state.is_root = True
+            # Becoming root is a tree change: answers computed while this
+            # node was a mere forwarder (or fresh) are no longer priced
+            # against the right vantage point.
+            self._notify_tree_change(state.topic)
         if op == "join":
             child_id, child_addr, child_site = data["child"]
             if child_addr != node.address:
@@ -472,11 +532,16 @@ class ScribeApplication(Application):
                     values[agg_name] = None
                 else:
                     values[agg_name] = fn.finalize(self._own_acc(state, agg_name))
-            node.send_app(data["origin"], self.name, "agg_value", {
+            reply = {
                 "request_id": data["request_id"],
                 "values": values,
                 "topic": state.topic,
-            })
+            }
+            if self.rebalancer is not None:
+                # Advertise the replica set so the reader diverts its next
+                # read; an empty list actively clears stale client hints.
+                reply["replicas"] = sorted(state.replicas)
+            node.send_app(data["origin"], self.name, "agg_value", reply)
 
     # ------------------------------------------------------------------
     # Direct messages
@@ -485,6 +550,13 @@ class ScribeApplication(Application):
         """Direct tree traffic: parent links, dissemination, walks, pushes."""
         kind = msg.payload["kind"]
         data = msg.payload["data"]
+        if self.rebalancer is not None:
+            topic = data.get("topic")
+            if topic is not None:
+                self.rebalancer.record(topic)
+            elif kind == "agg_push_batch":
+                for update in data["updates"]:
+                    self.rebalancer.record(update["topic"])
         if kind == "parent_set":
             self._on_parent_set(node, data["topic"], msg.payload["origin"])
         elif kind == "mcast_down":
@@ -517,6 +589,14 @@ class ScribeApplication(Application):
                 for agg_name, value in data["values"].items():
                     self.result_cache.put((data["topic"], agg_name), value,
                                           self.sim.now)
+            if "replicas" in data:
+                # The answerer (root or replica) piggybacks the live replica
+                # set; remember it so the next read skips the hot root.  An
+                # empty list is a retraction (post-demotion).
+                if data["replicas"]:
+                    self._replica_hints[data["topic"]] = list(data["replicas"])
+                else:
+                    self._replica_hints.pop(data["topic"], None)
             future = self._pending.pop(data["request_id"], None)
             if future is not None:
                 future.try_resolve(data["values"])
@@ -533,6 +613,22 @@ class ScribeApplication(Application):
             origin = msg.payload["origin"]
             if state is None or state.parent != origin:
                 node.send_app(origin, self.name, "leave", {"topic": data["topic"]})
+        elif kind == "parent_gone":
+            self._on_parent_gone(node, data, msg.payload["origin"])
+        elif kind == "replica_promote":
+            self._on_replica_promote(node, data, msg.payload["origin"])
+        elif kind == "replica_sync":
+            self._on_replica_sync(node, data, msg.payload["origin"])
+        elif kind == "replica_demote":
+            self._on_replica_demote(node, data, msg.payload["origin"])
+        elif kind == "replica_refuse":
+            self._on_replica_refuse(node, data, msg.payload["origin"])
+        elif kind == "replica_probe":
+            self._on_replica_probe(node, data, msg.payload["origin"])
+        elif kind == "replica_get":
+            self._on_replica_get(node, data)
+        elif kind == "anycast_divert":
+            self._on_anycast_divert(node, data)
 
     # ------------------------------------------------------------------
     # Join / tree plumbing
@@ -563,6 +659,8 @@ class ScribeApplication(Application):
 
     def _drop_child(self, node: PastryNode, state: TopicState, address: int) -> None:
         dropped = state.children.pop(address, None)
+        # A replica that stops being a child stops being a replica.
+        state.replicas.pop(address, None)
         changed = False
         for child_map in state.child_acc.values():
             if address in child_map:
@@ -587,8 +685,13 @@ class ScribeApplication(Application):
                 state.former_parent = state.parent
         if state.former_parent == parent_addr:
             state.former_parent = None
+        changed = state.is_root or state.parent != parent_addr
         state.parent = parent_addr
         state.is_root = False
+        if changed:
+            # Re-homing invalidates everything priced against the old tree
+            # path (planner cardinality hints, bounded-stale answers).
+            self._notify_tree_change(topic)
         self._repush_all(node, state)
 
     def _maybe_prune(self, node: PastryNode, state: TopicState) -> None:
@@ -606,7 +709,8 @@ class ScribeApplication(Application):
                 # anti-entropy round reaches it).  maintain() sends the
                 # leave once the former parent is reachable again.
                 state.former_parent = state.parent
-        state.parent = None
+            state.parent = None
+            self._notify_tree_change(state.topic)
 
     # ------------------------------------------------------------------
     # Multicast
@@ -811,6 +915,11 @@ class ScribeApplication(Application):
                     "topic": state.topic, "agg": agg_name, "acc": acc,
                     "child": self._packed_self(node),
                 })
+        if state.replicas:
+            # Root snapshot coherence: dirty aggregates at a replicated
+            # root re-sync the replicas on the same debounce cadence as
+            # upward pushes (maintain() adds the anti-entropy backstop).
+            self._sync_replicas(node, state)
 
     def _flush_all(self, node: PastryNode) -> None:
         """Node-level debounced flush: roll every dirty topic's changed
@@ -829,6 +938,8 @@ class ScribeApplication(Application):
                     batches.setdefault(state.parent, []).append({
                         "topic": state.topic, "agg": agg_name, "acc": acc,
                     })
+            if state.replicas:
+                self._sync_replicas(node, state)
         packed = self._packed_self(node)
         for parent, updates in batches.items():
             node.send_app(parent, self.name, "agg_push_batch", {
@@ -845,13 +956,25 @@ class ScribeApplication(Application):
         acc = data["acc"]
         if isinstance(acc, list):
             acc = tuple(acc)  # tuples survive payload round-trips as lists
-        if child_addr not in state.children and "child" in data:
-            # A pusher we do not list as a child: it kept its parent pointer
-            # across our crash-recovery (or we pruned it while it was down).
-            # Re-adopt it so pruning and child probes see it again.
-            child_id, _, child_site = data["child"]
-            self._add_child(node, state,
-                            NodeRef(NodeId(child_id), child_addr, child_site))
+        if child_addr not in state.children:
+            if not state.in_tree():
+                # Pruned vestige: _maybe_prune dissolved this branch and we
+                # hold no live role in the topic.  Re-adopting would
+                # resurrect an empty tree nothing can prune again (and the
+                # pusher would keep feeding a dead branch).  Tell it the
+                # parent is gone so maintain() re-joins it at the live
+                # rendezvous instead.
+                node.send_app(child_addr, self.name, "parent_gone",
+                              {"topic": state.topic})
+                return
+            if "child" in data:
+                # A pusher we do not list as a child: it kept its parent
+                # pointer across our crash-recovery (or we pruned it while
+                # it was down).  Re-adopt it so pruning and child probes
+                # see it again.
+                child_id, _, child_site = data["child"]
+                self._add_child(node, state,
+                                NodeRef(NodeId(child_id), child_addr, child_site))
         state.child_acc.setdefault(agg_name, {})[child_addr] = acc
         self._recompute_and_push(node, state, only=agg_name)
         self._notify_tree_change(state.topic)
@@ -863,3 +986,249 @@ class ScribeApplication(Application):
         child = data["child"]
         for update in data["updates"]:
             self._on_agg_push(node, {**update, "child": child}, child_addr)
+
+    def _on_parent_gone(self, node: PastryNode, data: Dict[str, Any],
+                        origin: int) -> None:
+        """Our parent disowned us (it pruned its local topic state): drop
+        the stale parent pointer and let maintain() re-join us through the
+        live rendezvous."""
+        state = self._topics.get(data["topic"])
+        if state is not None and state.parent == origin:
+            state.parent = None
+            self._notify_tree_change(state.topic)
+
+    def rejoin_detached(self, node: PastryNode) -> None:
+        """Re-route a JOIN for every topic this node should be wired into
+        but is not (crash-recovery path: joins attempted while the host was
+        down were suppressed by the network, leaving ``member=True`` states
+        with no tree link until the next attribute change)."""
+        for state in list(self._topics.values()):
+            if (state.parent is None and not state.is_root
+                    and (state.member or state.children)):
+                node.route(state.key, self.name,
+                           {"op": "join", "topic": state.topic,
+                            "scope": state.scope,
+                            "child": self._packed_self(node)},
+                           scope=state.scope)
+
+    # ------------------------------------------------------------------
+    # Hot-tree replication (load-triggered, docs/architecture.md §15)
+    # ------------------------------------------------------------------
+    def _finalized_values(self, state: TopicState) -> Dict[str, Any]:
+        """Finalized answers for every aggregate this root knows about."""
+        values: Dict[str, Any] = {}
+        for agg_name in state.agg_names():
+            fn = self.functions.get(agg_name)
+            if fn is not None:
+                values[agg_name] = fn.finalize(self._own_acc(state, agg_name))
+        return values
+
+    def _divert_target(self, node: PastryNode, topic: str) -> Optional[int]:
+        """A live replica to divert this read to, or None (no usable hint)."""
+        if self.rebalancer is None:
+            return None
+        state = self._topics.get(topic)
+        if state is not None and (state.is_root or state.replica_of is not None):
+            return None  # we ARE the root or a replica: answer in place
+        hints = self._replica_hints.get(topic)
+        if not hints:
+            return None
+        live = [a for a in hints
+                if a != node.address and node.network.has_host(a)]
+        if not live:
+            self._replica_hints.pop(topic, None)
+            return None
+        # Deterministic spread: distinct clients fan out across replicas.
+        return live[node.address % len(live)]
+
+    def _promote_replicas(self, node: PastryNode, state: TopicState) -> bool:
+        """Replicate a hot root: promote the leaf-set neighbors nearest the
+        topic key and re-partition the root's other children across them
+        (the D3-Tree split).
+
+        Replicas stay *interior nodes of the same tree* — children of the
+        root — so every existing mechanism (agg_push merge, anycast DFS,
+        child probes, pull aggregation, the single-root invariant) applies
+        unchanged; the win is that diverted readers are answered one hop
+        away from a root-coherent snapshot.
+        """
+        cfg = self.rebalancer.config
+        picks = node.closest_neighbors(state.key, cfg.max_replicas,
+                                       scope=state.scope)
+        if not picks:
+            return False
+        pick_addrs = [ref.address for ref in picks]
+        finalized = self._finalized_values(state)
+        # Round-robin the current children across the new replicas; their
+        # re-homing (ordinary parent_set handling) drains the root's
+        # per-message fan-out while aggregation keeps flowing upward.
+        others = sorted(a for a in state.children if a not in pick_addrs)
+        assigned: Dict[int, List[tuple]] = {a: [] for a in pick_addrs}
+        for i, child_addr in enumerate(others):
+            ref = state.children[child_addr]
+            assigned[pick_addrs[i % len(pick_addrs)]].append(
+                (ref.node_id.value, ref.address, ref.site_index))
+        for ref in picks:
+            state.replicas[ref.address] = ref
+        peers = sorted(state.replicas)
+        for ref in picks:
+            self._add_child(node, state, ref)
+            node.send_app(ref.address, self.name, "replica_promote", {
+                "topic": state.topic,
+                "scope": state.scope,
+                "values": dict(finalized),
+                "peers": list(peers),
+                "assigned": assigned[ref.address],
+            })
+        self._notify_tree_change(state.topic)
+        return True
+
+    def _demote_replicas(self, node: PastryNode, state: TopicState) -> None:
+        """Load subsided (or we stopped being root): release the replica
+        role everywhere.  Ex-replicas stay ordinary children until
+        :meth:`_maybe_prune` dissolves them, so adopted subtrees keep
+        flowing and no aggregate state is lost."""
+        for address in sorted(state.replicas):
+            if node.network.has_host(address):
+                node.send_app(address, self.name, "replica_demote",
+                              {"topic": state.topic})
+        state.replicas.clear()
+        self._notify_tree_change(state.topic)
+
+    def _sync_replicas(self, node: PastryNode, state: TopicState) -> None:
+        """Push the root's finalized snapshot to every live replica."""
+        if not state.replicas:
+            return
+        values = self._finalized_values(state)
+        peers = sorted(state.replicas)
+        for address in peers:
+            if node.network.has_host(address):
+                node.send_app(address, self.name, "replica_sync", {
+                    "topic": state.topic,
+                    "values": dict(values),
+                    "peers": list(peers),
+                })
+
+    def _clear_replica_role(self, node: PastryNode, state: TopicState) -> None:
+        state.replica_of = None
+        state.replica_values = None
+        state.replica_peers = []
+        self._notify_tree_change(state.topic)
+        self._maybe_prune(node, state)
+
+    def _replica_maintain(self, node: PastryNode) -> None:
+        """Per-tick anti-entropy for the replication protocol (both roles):
+        heals lost promote/demote messages, prunes dead replicas, and keeps
+        snapshots coherent through the same maintenance cadence the rest of
+        the tree repair uses."""
+        for state in list(self._topics.values()):
+            if state.replicas:
+                if not state.is_root:
+                    # Lost a root re-anchor race: a node that is no longer
+                    # the rendezvous must not keep a replica set.
+                    self._demote_replicas(node, state)
+                else:
+                    for address in sorted(state.replicas):
+                        if (address not in state.children
+                                or not node.network.has_host(address)):
+                            state.replicas.pop(address, None)
+                            self._notify_tree_change(state.topic)
+                    self._sync_replicas(node, state)
+            if state.replica_of is not None:
+                root = state.replica_of
+                if not node.network.has_host(root) or state.parent != root:
+                    # Root died or we re-homed: stop serving the snapshot.
+                    self._clear_replica_role(node, state)
+                else:
+                    # Lost-demote healer: the root replies replica_demote
+                    # when it no longer lists us in its replica set.
+                    node.send_app(root, self.name, "replica_probe",
+                                  {"topic": state.topic})
+
+    def _on_replica_promote(self, node: PastryNode, data: Dict[str, Any],
+                            origin: int) -> None:
+        state = self.topic_state(data["topic"], data.get("scope"))
+        state.replica_of = origin
+        state.replica_values = dict(data["values"])
+        state.replica_peers = list(data["peers"])
+        for child_id, child_addr, child_site in data["assigned"]:
+            if child_addr != node.address:
+                self._add_child(node, state,
+                                NodeRef(NodeId(child_id), child_addr, child_site))
+        self._notify_tree_change(state.topic)
+
+    def _on_replica_sync(self, node: PastryNode, data: Dict[str, Any],
+                         origin: int) -> None:
+        state = self.topic_state(data["topic"])
+        if state.replica_of == origin or (state.replica_of is None
+                                          and state.parent == origin):
+            # The second clause completes a promotion whose
+            # ``replica_promote`` was lost: the syncing root still lists us
+            # as a replica-child, so accept the role from the sync alone.
+            state.replica_of = origin
+            state.replica_values = dict(data["values"])
+            state.replica_peers = list(data["peers"])
+        else:
+            node.send_app(origin, self.name, "replica_refuse",
+                          {"topic": data["topic"]})
+
+    def _on_replica_demote(self, node: PastryNode, data: Dict[str, Any],
+                           origin: int) -> None:
+        state = self._topics.get(data["topic"])
+        if state is None or state.replica_of != origin:
+            return
+        self._clear_replica_role(node, state)
+
+    def _on_replica_refuse(self, node: PastryNode, data: Dict[str, Any],
+                           origin: int) -> None:
+        state = self._topics.get(data["topic"])
+        if state is not None and origin in state.replicas:
+            state.replicas.pop(origin, None)
+            self._notify_tree_change(state.topic)
+
+    def _on_replica_probe(self, node: PastryNode, data: Dict[str, Any],
+                          origin: int) -> None:
+        state = self._topics.get(data["topic"])
+        if state is None or not state.is_root or origin not in state.replicas:
+            node.send_app(origin, self.name, "replica_demote",
+                          {"topic": data["topic"]})
+
+    def _on_replica_get(self, node: PastryNode, data: Dict[str, Any]) -> None:
+        state = self._topics.get(data["topic"])
+        snapshot = state.replica_values if state is not None else None
+        if (state is not None and state.replica_of is not None
+                and snapshot is not None
+                and all(n in snapshot for n in data["names"])):
+            node.send_app(data["origin"], self.name, "agg_value", {
+                "request_id": data["request_id"],
+                "values": {n: snapshot[n] for n in data["names"]},
+                "topic": data["topic"],
+                "replicas": list(state.replica_peers),
+            })
+            return
+        # Stale hint (we were demoted, or the snapshot lacks a requested
+        # aggregate): fall back to a normal routed read, preserving the
+        # caller's request identity so the reply still lands at its future.
+        key = state.key if state is not None else topic_id(data["topic"],
+                                                           self.creator)
+        scope = data.get("scope") or (state.scope if state is not None
+                                      else "global")
+        node.route(key, self.name, {
+            "op": "agg_get",
+            "topic": data["topic"],
+            "scope": scope,
+            "origin": data["origin"],
+            "request_id": data["request_id"],
+            "names": list(data["names"]),
+        }, scope=scope)
+
+    def _on_anycast_divert(self, node: PastryNode, data: Dict[str, Any]) -> None:
+        state = self._topics.get(data["topic"])
+        if state is not None and state.in_tree():
+            self._anycast_visit(node, data)
+            return
+        # Stale hint: hand the walk back to normal rendezvous routing (the
+        # payload still carries ``op: anycast``, so forward/deliver apply).
+        key = state.key if state is not None else topic_id(data["topic"],
+                                                           self.creator)
+        node.route(key, self.name, data, scope=data.get("scope") or "global")

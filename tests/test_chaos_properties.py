@@ -39,12 +39,16 @@ QUIESCE_MS = 4_000.0
 
 
 def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
-              queries=6, sanitize=True):
+              queries=6, sanitize=True, rebalance=False):
     """One chaos scenario; returns everything the invariants inspect.
 
     The runtime invariant sanitizer rides along by default — its checks
     are purely observational, so the determinism fingerprint is
     unaffected — and the invariant test asserts its report stays empty.
+
+    ``rebalance=True`` turns on hot-tree root replication with thresholds
+    low enough that ordinary chaos traffic triggers promotions, running
+    the replica protocol through the same crash/partition schedules.
     """
     plane = RBay(RBayConfig(
         seed=seed,
@@ -57,6 +61,14 @@ def run_chaos(seed, crash_fraction=0.3, drop_prob=0.1, partitions=1,
         # Chaos runs execute only a few thousand events (batched delivery
         # coalescing), so sweep well below the default cadence.
         sanitize_sweep_events=250,
+        rebalance=rebalance,
+        rebalance_hot_threshold=6,
+        rebalance_cool_threshold=2,
+        rebalance_window_ms=500.0,
+        rebalance_hot_windows=2,
+        rebalance_cool_windows=4,
+        rebalance_max_replicas=2,
+        rebalance_min_children=2,
     )).build()
     workload = FederationWorkload(plane, WorkloadSpec(
         gate_policies=False, utilization_thresholds=())).apply()
@@ -201,6 +213,86 @@ def test_chaos_invariants(seed):
     report = plane.sanitizer.report
     assert report.ok, report.format()
     assert report.quiescent_checks > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_invariants_with_rebalancing(seed):
+    """The full chaos schedule with hot-tree replication switched on: the
+    replica protocol must survive crashes/partitions with the sanitizer
+    (which now watches replica-set agreement, child partitioning, and
+    snapshot coherence) clean, and aggregates must still equal ground
+    truth once the faults heal."""
+    plane, workload, injector, futures = run_chaos(seed, rebalance=True)
+
+    assert injector.live_indices == list(range(len(plane.nodes)))
+    assert not injector.partitions
+
+    # Typed completion, exactly as in the rebalance-off suite.
+    assert futures, "no queries fired"
+    for future in futures:
+        assert future.resolved
+        assert not isinstance(future.value, FutureTimeout)
+        assert isinstance(future.value, (QueryResult, QueryError))
+
+    # Aggregates equal ground truth through promote/demote churn.
+    from repro.core.naming import instance_tree, site_tree
+
+    for site in [s.name for s in plane.registry]:
+        itype = popular_type(workload, site)
+        expected = workload.site_instance_population(site)[itype]
+        via = plane.site_nodes(site)[0]
+        got = plane.tree_size(instance_tree(site, itype), via=via, scope="site")
+        assert got == expected, (
+            f"{site}/{itype}: tree says {got}, ground truth {expected}")
+
+    spec = plane.context.bucket_index.spec_for("CPU_utilization")
+    for site in [s.name for s in plane.registry]:
+        nodes = plane.site_nodes(site)
+        via = nodes[0]
+        for bucket in spec.buckets:
+            expected = sum(
+                1 for n in nodes
+                if n.has_attribute("CPU_utilization")
+                and bucket.contains(n.attribute_value("CPU_utilization")))
+            got = plane.tree_size(site_tree(site, bucket.tree), via=via,
+                                  scope="site")
+            assert got == expected, (
+                f"{site}/{bucket.tree}: tree says {got}, "
+                f"ground truth {expected}")
+
+    # The sanitizer — including the three replica invariants — is clean.
+    report = plane.sanitizer.report
+    assert report.ok, report.format()
+    assert report.quiescent_checks > 0
+
+    # No replica roles left dangling after the final drain: every surviving
+    # replica set is mutually acknowledged.
+    for node in plane.nodes:
+        for topic, state in node.scribe.topics().items():
+            for addr in state.replicas:
+                assert addr in state.children, (
+                    f"{topic}: replica {addr} at {node.address} "
+                    f"is not a child")
+
+
+def test_rebalancing_chaos_run_is_deterministic():
+    """Same seed with rebalancing on: byte-identical decisions and trace."""
+    def fingerprint(seed):
+        plane, _, injector, futures = run_chaos(seed, rebalance=True)
+        promotions = sum(
+            n.scribe.rebalancer.promotions for n in plane.nodes)
+        demotions = sum(
+            n.scribe.rebalancer.demotions for n in plane.nodes)
+        outcomes = [
+            (f.value.satisfied, f.value.degraded, f.value.retries,
+             sorted(f.value.tree_sizes.items()))
+            if isinstance(f.value, QueryResult) else repr(f.value)
+            for f in futures
+        ]
+        return (injector.trace_text(), plane.counters.snapshot(),
+                plane.network.messages_sent, promotions, demotions, outcomes)
+
+    assert fingerprint(SEEDS[0]) == fingerprint(SEEDS[0])
 
 
 def test_chaos_run_is_deterministic():

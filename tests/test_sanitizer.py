@@ -32,6 +32,9 @@ EXPECTED_INVARIANTS = [
     "reservation_hygiene",
     "message_conservation",
     "child_acc_residency",
+    "replica_set_agreement",
+    "replica_child_partition",
+    "replica_value_coherence",
 ]
 
 
@@ -51,10 +54,10 @@ def build_plane(seed=11, **overrides):
 # ----------------------------------------------------------------------
 # Registry plumbing
 # ----------------------------------------------------------------------
-def test_default_registry_holds_the_five_invariants():
+def test_default_registry_holds_the_builtin_invariants():
     registry = InvariantRegistry.default()
     assert registry.names() == EXPECTED_INVARIANTS
-    assert len(registry) == 5
+    assert len(registry) == len(EXPECTED_INVARIANTS)
     for name in EXPECTED_INVARIANTS:
         assert name in registry
     assert "no_such_invariant" not in registry

@@ -45,6 +45,7 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "core" / "reservation.py",
     REPO / "src" / "repro" / "query" / "planner.py",
     REPO / "src" / "repro" / "scribe" / "buckets.py",
+    REPO / "src" / "repro" / "scribe" / "rebalance.py",
 ]
 
 #: Test files that exercise them.
@@ -67,6 +68,7 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_query_planner.py",
     REPO / "tests" / "test_scribe_buckets.py",
     REPO / "tests" / "test_property_range_oracle.py",
+    REPO / "tests" / "test_rebalance.py",
 ]
 
 
