@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos sanitize coverage trace planner rebalance examples outputs clean
+.PHONY: install test bench chaos sanitize coverage trace planner rebalance live examples outputs clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -86,6 +86,22 @@ rebalance:
 	  tests/test_chaos_properties.py -q -k rebalanc
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_rebalance_skew.py \
 	  --benchmark-only -s
+
+# Real-transport subsystem (docs/architecture.md §16): codec + trace-ctx
+# + scheduler + socket suites, the sim-as-oracle harness and live 4-site
+# e2e, the two-process serve smoke test, and the live-vs-sim cost
+# benchmark (benchmarks/results/transport_overhead.json).  Live runs use
+# real sockets and wall clocks, so the whole target sits under a hard
+# wall-clock timeout (override with RBAY_LIVE_TIMEOUT, seconds).
+live:
+	timeout $${RBAY_LIVE_TIMEOUT:-900} sh -c '\
+	  PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_transport_codec.py \
+	    tests/test_net_trace_ctx.py tests/test_transport_realtime.py \
+	    tests/test_transport_asyncio.py tests/test_transport_wire_safety.py \
+	    tests/test_transport_oracle.py tests/test_transport_live.py \
+	    tests/test_transport_serve.py && \
+	  PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_transport_overhead.py \
+	    --benchmark-only -s'
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done

@@ -11,6 +11,9 @@ Quick orientation (details in README.md / docs/architecture.md):
   trees (multicast / anycast / aggregate);
 * :mod:`repro.aa` — the sandboxed active-attribute runtime ("Luette");
 * :mod:`repro.query` — the SQL interface and five-step protocol;
+* :mod:`repro.transport` — the transport seam: the DES-backed
+  ``SimTransport``, the wire codec, and the real-socket
+  ``AsyncioTransport`` (sim-as-oracle validated);
 * :mod:`repro.check` — the runtime invariant sanitizer (TSan/ASan-style
   continuous checking of tree, aggregate, reservation, and network
   invariants while workloads run);
@@ -36,6 +39,7 @@ __all__ = [
     "FaultSchedule",
     "Observability",
     "Sanitizer",
+    "Transport",
     "__version__",
 ]
 
@@ -49,6 +53,7 @@ _EXPORTS = {
     "FaultSchedule": "repro.faults.schedule",
     "Observability": "repro.obs",
     "Sanitizer": "repro.check",
+    "Transport": "repro.transport.base",
 }
 
 

@@ -8,13 +8,15 @@ Usage (installed as the ``rbay`` console script, or ``python -m repro.cli``):
     rbay latency --origins Virginia Singapore --queries 20
     rbay trace "SELECT 3 FROM * WHERE instance_type = 'c3.large';"
     rbay scale --sites 32 --nodes 32 --no-jitter
+    rbay serve --peers peers.json --own Virginia Oregon --time-scale 0.05
     rbay lua "return ('rbay'):upper()"
 
 Every federation-building subcommand shares one flag set (``--seed``,
 ``--sites``, ``--nodes``, ``--trace-out``, ...) via a common parent
-parser.  The CLI always builds a workload-dressed simulated federation
-(the paper's eight EC2 sites unless ``--sites N`` is given); all times
-shown are simulated milliseconds.
+parser.  The CLI builds a workload-dressed federation (the paper's eight
+EC2 sites unless ``--sites N`` is given) on the deterministic DES
+transport by default — ``--transport asyncio`` runs the same plane on
+real TCP sockets; all times shown are in (virtual) milliseconds.
 """
 
 from __future__ import annotations
@@ -61,8 +63,12 @@ def _build_plane(args) -> tuple:
         sanitize_sweep_events=getattr(args, "sanitize_sweep", 5_000),
         sanitize_fail_fast=getattr(args, "sanitize_fail_fast", False),
         rebalance=getattr(args, "rebalance", False),
+        transport=getattr(args, "transport", "sim"),
+        wire_check=getattr(args, "wire_check", False),
+        time_scale=getattr(args, "time_scale", 1.0),
     )
     plane = RBay(config).build()
+    args._plane = plane  # closed by main() (live transport teardown)
     workload = FederationWorkload(plane, WorkloadSpec(password=args.password)).apply()
     if getattr(args, "buckets", 0):
         plane.register_buckets("CPU_utilization", 0.0, 100.0, args.buckets)
@@ -153,6 +159,17 @@ def _common_parser() -> argparse.ArgumentParser:
                         help="enable load-triggered hot-tree root "
                              "replication (D3-Tree style rebalancing "
                              "under skewed workloads)")
+    common.add_argument("--transport", choices=("sim", "asyncio"),
+                        default="sim",
+                        help="message transport: 'sim' (deterministic DES) "
+                             "or 'asyncio' (real TCP sockets, wall clock)")
+    common.add_argument("--time-scale", type=float, default=1.0,
+                        help="live transport only: wall ms per virtual ms "
+                             "(0.05 compresses protocol timeouts 20x)")
+    common.add_argument("--wire-check", action="store_true",
+                        help="sim transport only: round-trip every delivered "
+                             "message through the wire codec (wire-safety "
+                             "lint; behaviour must stay identical)")
     return common
 
 
@@ -402,6 +419,49 @@ def cmd_check(args) -> int:
     return 1 if report.violations else 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a partition of the federation as one live OS process.
+
+    Every ``serve`` process builds the identical same-seed plane; the
+    sites named by ``--own`` run on real sockets here, all other sites
+    are shadows reached at the endpoints in the ``--peers`` plan.  With
+    ``--make-peers`` the command instead prints a ready-to-edit plan for
+    the federation's sites and exits.
+    """
+    import json
+
+    from repro.transport.serve import PeerPlan, run_serve
+
+    if args.make_peers:
+        registry = RBay._make_registry(RBayConfig(
+            seed=args.seed, synthetic_sites=args.synthetic_sites))
+        doc = PeerPlan.default_document(
+            [site.name for site in registry], port_base=args.port_base)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if not args.peers or not args.own:
+        print("serve needs --peers PATH and --own SITE [SITE ...] "
+              "(or --make-peers)", file=sys.stderr)
+        return 2
+    plan = PeerPlan.load(args.peers, owned=args.own)
+    config = RBayConfig(
+        seed=args.seed,
+        nodes_per_site=args.nodes,
+        synthetic_sites=args.synthetic_sites,
+        jitter=not args.no_jitter,
+        transport="asyncio",
+        time_scale=args.time_scale,
+        transport_peers=plan,
+    )
+    return run_serve(config, plan,
+                     duration_s=args.duration,
+                     settle_ms=args.settle_ms,
+                     query=args.sql,
+                     query_origin=args.origin,
+                     password=args.password,
+                     peer_timeout_s=args.peer_timeout)
+
+
 def cmd_lua(args) -> int:
     """Run a Luette chunk in the AA sandbox and print its return value."""
     from repro.aa.errors import LuetteError
@@ -503,6 +563,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the applied fault-event trace")
     p.set_defaults(fn=cmd_check)
 
+    p = sub.add_parser("serve", parents=[common],
+                       help="serve a partition of the federation as one "
+                            "live process (asyncio transport)")
+    p.add_argument("--peers", default=None, metavar="PATH",
+                   help="JSON peer plan shared by every serve process")
+    p.add_argument("--own", nargs="*", default=None, metavar="SITE",
+                   help="sites this process serves on real sockets")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="wall seconds to keep serving after startup")
+    p.add_argument("--settle-ms", type=float, default=2_000.0,
+                   help="virtual ms to settle after applying the workload")
+    p.add_argument("--query", dest="sql", default=None, metavar="SQL",
+                   help="run one query after settling and print RESULT")
+    p.add_argument("--origin", default=None,
+                   help="origin site for --query (must be owned; "
+                        "default: first owned site)")
+    p.add_argument("--peer-timeout", type=float, default=30.0,
+                   help="seconds to wait for peer processes to bind")
+    p.add_argument("--make-peers", action="store_true",
+                   help="print a default peer plan for the federation's "
+                        "sites and exit")
+    p.add_argument("--port-base", type=int, default=42000,
+                   help="first port band for --make-peers")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("lua", help="run a Luette chunk in the AA sandbox")
     p.add_argument("source", help="chunk text, or '-' to read stdin")
     p.add_argument("--budget", type=int, default=100_000,
@@ -514,7 +599,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    finally:
+        plane = getattr(args, "_plane", None)
+        if plane is not None:
+            plane.close()
 
 
 if __name__ == "__main__":

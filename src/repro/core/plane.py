@@ -27,8 +27,8 @@ from repro.net.latency import (
     TableIILatencyModel,
     make_ec2_registry,
 )
-from repro.net.network import Network
 from repro.net.site import Site, SiteRegistry
+from repro.transport.sim import SimTransport
 from repro.obs import Observability
 from repro.pastry.leafset import DEFAULT_LEAF_SET_SIZE
 from repro.pastry.nodeid import NodeId
@@ -155,6 +155,31 @@ class RBayConfig:
     rebalance_max_replicas: int = 2
     #: Minimum root children for replication to be worthwhile.
     rebalance_min_children: int = 2
+    #: Message transport backing the plane: ``"sim"`` (the DES network —
+    #: deterministic, the validation oracle) or ``"asyncio"`` (every node
+    #: a real TCP endpoint on a wall-clock scheduler; see
+    #: docs/architecture.md §16).  The protocol stack is identical on
+    #: both; only scheduling and delivery differ.
+    transport: str = "sim"
+    #: Sim-only codec shadow mode: round-trip every delivered message
+    #: through the versioned wire codec and hand receivers the decoded
+    #: copy, turning every deterministic run into a wire-safety lint.
+    wire_check: bool = False
+    #: Live-only clock compression: wall milliseconds per virtual
+    #: millisecond.  ``0.05`` runs the paper's multi-second protocol
+    #: timeouts 20× faster without touching any timeout constant.
+    time_scale: float = 1.0
+    #: Live-only: interface the per-node TCP servers bind.
+    live_bind_host: str = "127.0.0.1"
+    #: Live-only: wall-clock budget for one TCP connect attempt.
+    connect_timeout_ms: float = 1_000.0
+    #: Live-only: reconnect attempts (with linear backoff) before a frame
+    #: is written off as dropped and the sender's protocol timeouts kick in.
+    connect_retries: int = 3
+    #: Live-only: a :class:`repro.transport.serve.PeerPlan` partitioning
+    #: the federation's sites across OS processes (``rbay serve``).
+    #: ``None`` serves every host in-process.
+    transport_peers: Optional[Any] = None
 
 
 class RBay:
@@ -163,18 +188,40 @@ class RBay:
     def __init__(self, config: Optional[RBayConfig] = None):
         self.config = config if config is not None else RBayConfig()
         cfg = self.config
-        self.sim = Simulator(batched=cfg.batching)
         self.streams = RandomStreams(cfg.seed)
         self.registry = self._make_registry(cfg)
         self.latency = self._make_latency(cfg)
-        self.network = Network(
-            self.sim,
-            self.latency,
-            loss_rate=cfg.loss_rate,
-            loss_rng=self.streams.stream("network-loss") if cfg.loss_rate else None,
-            processing_ms=cfg.processing_delay_ms,
-            coalesce_delivery=cfg.batching,
-        )
+        loss_rng = self.streams.stream("network-loss") if cfg.loss_rate else None
+        if cfg.transport == "sim":
+            self.sim = Simulator(batched=cfg.batching)
+            self.network = SimTransport(
+                self.sim,
+                self.latency,
+                loss_rate=cfg.loss_rate,
+                loss_rng=loss_rng,
+                processing_ms=cfg.processing_delay_ms,
+                coalesce_delivery=cfg.batching,
+                wire_check=cfg.wire_check,
+            )
+        elif cfg.transport == "asyncio":
+            from repro.transport.asyncio_transport import AsyncioTransport
+            from repro.transport.realtime import RealtimeScheduler
+
+            self.sim = RealtimeScheduler(time_scale=cfg.time_scale)
+            self.network = AsyncioTransport(
+                self.sim,
+                self.latency,
+                bind_host=cfg.live_bind_host,
+                loss_rate=cfg.loss_rate,
+                loss_rng=loss_rng,
+                processing_ms=cfg.processing_delay_ms,
+                connect_timeout_s=cfg.connect_timeout_ms / 1000.0,
+                connect_retries=cfg.connect_retries,
+                peer_plan=cfg.transport_peers,
+            )
+        else:
+            raise ValueError(f"unknown transport {cfg.transport!r} "
+                             f"(expected 'sim' or 'asyncio')")
         self.hierarchy = AttributeHierarchy()
         #: Federation-wide cache/protocol counters (hit/miss/invalidation).
         self.counters = CounterRegistry()
@@ -496,6 +543,17 @@ class RBay:
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
+
+    def close(self) -> None:
+        """Release transport resources (sockets, event loop) if any.
+
+        A cheap no-op for the DES backend; required teardown for the
+        asyncio backend.  Safe to call repeatedly.
+        """
+        for target in (self.network, self.sim):
+            closer = getattr(target, "close", None)
+            if closer is not None:
+                closer()
 
     # ------------------------------------------------------------------
     # Convenience for experiments

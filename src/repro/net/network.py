@@ -11,6 +11,7 @@ from repro.net.latency import LatencyModel, UniformLatencyModel
 from repro.net.message import Message
 from repro.net.site import Site
 from repro.sim.engine import Simulator
+from repro.transport.base import Transport, deliver_traced, stamp_trace_ctx
 
 
 class NetworkError(RuntimeError):
@@ -61,8 +62,12 @@ class Host:
         return f"<{type(self).__name__} addr={self.address} site={self.site.name}>"
 
 
-class Network:
+class Network(Transport):
     """Delivers messages between hosts with model-driven latency.
+
+    The reference :class:`~repro.transport.base.Transport`: delivery is a
+    simulated heap event, which makes this backend the deterministic
+    oracle the live socket transport is validated against.
 
     Also the system's measurement point: per-host message/byte counters feed
     the load-balance and bandwidth experiments (Fig. 8b and the centralized
@@ -181,8 +186,7 @@ class Network:
             return
         msg.src = src.address
         msg.dst = dst_address
-        if self.recorder is not None and self.recorder.enabled and msg.trace_ctx is None:
-            msg.trace_ctx = self.recorder.current_ctx()
+        stamp_trace_ctx(self.recorder, msg)
         self.messages_sent += 1
         size = msg.size_bytes()
         self.bytes_sent += size
@@ -251,18 +255,17 @@ class Network:
         self.per_host_bytes_in[dst_address] += size
         if msg.trace is not None:
             msg.trace.append(dst_address)
+        # Restore the sender's causal context for the duration of the
+        # handler, so spans it opens parent under the causing span.  The
+        # shared helper keeps the push/pop balanced identically for sim
+        # and wire deliveries; the tracing-off hot path skips the closure.
         recorder = self.recorder
-        if recorder is not None and recorder.enabled and msg.trace_ctx is not None:
-            # Restore the sender's causal context for the duration of the
-            # handler, so spans it opens parent under the causing span.
-            recorder.push_ctx(msg.trace_ctx)
-            try:
-                if self._delivery_hook is not None:
-                    self._delivery_hook(msg)
-                host.on_message(msg)
-            finally:
-                recorder.pop_ctx()
-            return
+        if recorder is None or not recorder.enabled or msg.trace_ctx is None:
+            self._dispatch(host, msg)
+        else:
+            deliver_traced(recorder, msg, lambda: self._dispatch(host, msg))
+
+    def _dispatch(self, host: Host, msg: Message) -> None:
         if self._delivery_hook is not None:
             self._delivery_hook(msg)
         host.on_message(msg)

@@ -1,0 +1,355 @@
+"""A wall-clock implementation of the simulator's scheduling API.
+
+The entire protocol stack is callback-driven: components schedule
+callbacks at future virtual times and top-level code drives the loop via
+``Future.result() → sim.run_until(...)``.  That seam means a *live* run
+needs no protocol changes at all — only an object that speaks the
+:class:`~repro.sim.engine.Simulator` API but maps it onto real time and
+an asyncio event loop.  :class:`RealtimeScheduler` is that object:
+
+* the clock is wall time, reported in virtual milliseconds through a
+  configurable ``time_scale`` (wall milliseconds per virtual
+  millisecond; ``0.05`` compresses the paper's multi-second protocol
+  timeouts 20×, which keeps live tests fast without touching any
+  timeout constant);
+* ``schedule`` / ``post`` / ``call_soon`` / ``schedule_periodic`` become
+  ``loop.call_later`` timers;
+* ``run`` / ``run_for`` / ``run_until`` / ``run_until_idle`` pump the
+  asyncio loop — socket transports and timers interleave naturally —
+  until the deadline, predicate, or quiescence;
+* step/idle hooks fire with the same signatures, so the invariant
+  sanitizer attaches to live runs unmodified.
+
+Quiescence is cooperative: transports register *idle sources*
+(:meth:`add_idle_source`) reporting in-flight work, and ``run()`` with
+no deadline drains until the one-shot timer count and every idle source
+agree the system is quiet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.sim.engine import SimulationError
+
+
+class RealtimeTimeout(RuntimeError):
+    """A live pump exceeded its wall-clock safety budget."""
+
+
+class RealtimeEvent:
+    """Handle for one scheduled live callback (mirrors ``sim.Event``)."""
+
+    __slots__ = ("time", "seq", "cancelled", "daemon", "_handle", "_scheduler")
+
+    def __init__(self, scheduler: "RealtimeScheduler", when: float, seq: int,
+                 daemon: bool):
+        self.time = when
+        self.seq = seq
+        self.cancelled = False
+        self.daemon = daemon
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._scheduler = scheduler
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+        self._scheduler._settle(self)
+
+
+class RealtimeScheduler:
+    """Drop-in ``Simulator`` for live transports (see module docstring)."""
+
+    def __init__(self, time_scale: float = 1.0, poll_interval_s: float = 0.001,
+                 max_wall_s: float = 300.0):
+        if time_scale <= 0:
+            raise SimulationError(f"time_scale must be positive (got {time_scale})")
+        self.time_scale = time_scale
+        self.poll_interval_s = poll_interval_s
+        #: Wall-clock budget for any single pump call; a live run that
+        #: exceeds it raises :class:`RealtimeTimeout` instead of hanging.
+        self.max_wall_s = max_wall_s
+        self.loop = asyncio.new_event_loop()
+        self._t0 = time.monotonic()
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._pending = 0          # outstanding one-shot (non-daemon) timers
+        self._daemon_pending = 0   # periodic-task timers (don't block idle)
+        self._running = False
+        self._closed = False
+        self._error: Optional[BaseException] = None
+        self._step_hook: Optional[Callable[[float, int], None]] = None
+        self._idle_hook: Optional[Callable[[], None]] = None
+        self._idle_sources: List[Callable[[], bool]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Wall time since construction, in virtual milliseconds."""
+        return (time.monotonic() - self._t0) * 1000.0 / self.time_scale
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        return self._pending + self._daemon_pending
+
+    def _wall_delay(self, virtual_ms: float) -> float:
+        return virtual_ms * self.time_scale / 1000.0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any, daemon: bool = False) -> RealtimeEvent:
+        """Run ``callback(*args)`` after ``delay`` virtual milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if self._closed:
+            raise SimulationError("scheduler is closed")
+        event = RealtimeEvent(self, self.now + delay, next(self._seq), daemon)
+        if daemon:
+            self._daemon_pending += 1
+        else:
+            self._pending += 1
+        event._handle = self.loop.call_later(
+            self._wall_delay(delay), self._fire, event, callback, args)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[..., Any],
+                    *args: Any) -> RealtimeEvent:
+        """Run at absolute virtual time ``when`` (clamped to "now": the
+        wall clock advances while Python runs, so a past instant means
+        "as soon as possible", not an error as in the DES)."""
+        return self.schedule(max(0.0, when - self.now), callback, *args)
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget scheduling (no cancellation handle)."""
+        self.schedule(delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> RealtimeEvent:
+        return self.schedule(0.0, callback, *args)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> "RealtimePeriodicTask":
+        return RealtimePeriodicTask(self, interval, callback, args, jitter_fn)
+
+    def _settle(self, event: RealtimeEvent) -> None:
+        """Account one event leaving the pending set (fired or cancelled)."""
+        if event.daemon:
+            self._daemon_pending -= 1
+        else:
+            self._pending -= 1
+
+    def _fire(self, event: RealtimeEvent, callback: Callable[..., Any],
+              args: tuple) -> None:
+        if event.cancelled:
+            return  # already settled by cancel()
+        event.cancelled = True  # consumed: a later cancel() must be a no-op
+        self._settle(event)
+        self._events_executed += 1
+        try:
+            if self._step_hook is not None:
+                self._step_hook(self.now, event.seq)
+            callback(*args)
+        except BaseException as exc:  # surfaced by the next pump iteration
+            if self._error is None:
+                self._error = exc
+
+    def report_error(self, exc: BaseException) -> None:
+        """Let transports surface a fatal async failure to the pump."""
+        if self._error is None:
+            self._error = exc
+
+    # ------------------------------------------------------------------
+    # Hooks & idle sources
+    # ------------------------------------------------------------------
+    def set_step_hook(self, hook: Optional[Callable[[float, int], None]]) -> None:
+        self._step_hook = hook
+
+    def set_idle_hook(self, hook: Optional[Callable[[], None]]) -> None:
+        self._idle_hook = hook
+
+    def add_idle_source(self, source: Callable[[], bool]) -> None:
+        """Register a predicate that must be true for the plane to count
+        as quiescent (transports report "no frames in flight" here)."""
+        self._idle_sources.append(source)
+
+    def _quiet(self) -> bool:
+        if self._pending:
+            return False
+        return all(source() for source in self._idle_sources)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _raise_pending_error(self) -> None:
+        if self._error is not None:
+            exc, self._error = self._error, None
+            raise exc
+
+    async def _drive(self, stop: Callable[[], bool],
+                     deadline: Optional[float]) -> bool:
+        start_wall = time.monotonic()
+        # Zero-delay sleeps between checks let due timers and socket
+        # tasks run; back off to poll_interval once nothing is imminent.
+        while True:
+            self._raise_pending_error()
+            if stop():
+                return True
+            if deadline is not None and self.now >= deadline:
+                return stop()
+            if time.monotonic() - start_wall > self.max_wall_s:
+                raise RealtimeTimeout(
+                    f"live pump exceeded max_wall_s={self.max_wall_s}")
+            await asyncio.sleep(self.poll_interval_s)
+
+    def _pump(self, stop: Callable[[], bool], deadline: Optional[float]) -> bool:
+        if self._running:
+            raise SimulationError("RealtimeScheduler.run is not reentrant")
+        if self._closed:
+            raise SimulationError("scheduler is closed")
+        self._running = True
+        try:
+            return self.loop.run_until_complete(self._drive(stop, deadline))
+        finally:
+            self._running = False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """With ``until``: pump until that virtual time.  Without: drain
+        to quiescence (no one-shot timers, all idle sources quiet for two
+        consecutive polls), then fire the idle hook."""
+        if until is not None:
+            self._pump(lambda: False, until)
+            return
+        budget = (None if max_events is None
+                  else self._events_executed + max_events)
+        streak = [0]
+
+        def _stop() -> bool:
+            if budget is not None and self._events_executed >= budget:
+                return True
+            streak[0] = streak[0] + 1 if self._quiet() else 0
+            return streak[0] >= 2
+
+        self._pump(_stop, None)
+        if self._idle_hook is not None and self._quiet():
+            self._idle_hook()
+
+    def run_for(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"cannot run for a negative duration ({duration})")
+        self.run(until=self.now + duration)
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        self.run(max_events=max_events)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> bool:
+        """Pump until ``predicate()`` is true; returns whether it became
+        true by the (virtual-ms) timeout."""
+        deadline = None if timeout is None else self.now + timeout
+        budget = (None if max_events is None
+                  else self._events_executed + max_events)
+
+        def _stop() -> bool:
+            if predicate():
+                return True
+            if budget is not None and self._events_executed >= budget:
+                return True
+            return False
+
+        self._pump(_stop, deadline)
+        return bool(predicate())
+
+    def serve(self, duration_s: float) -> None:
+        """Pump for a fixed *wall* duration (the ``rbay serve`` loop)."""
+        self.run_for(duration_s * 1000.0 / self.time_scale)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the loop down (idempotent).  Pending timers are dropped."""
+        if self._closed:
+            return
+        self._closed = True
+        pending = asyncio.all_tasks(self.loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self.loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+        self.loop.run_until_complete(self.loop.shutdown_asyncgens())
+        self.loop.close()
+
+
+class RealtimePeriodicTask:
+    """Repeating live timer mirroring :class:`~repro.sim.engine.PeriodicTask`."""
+
+    def __init__(
+        self,
+        scheduler: RealtimeScheduler,
+        interval: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        jitter_fn: Optional[Callable[[], float]],
+    ):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive (got {interval})")
+        self._scheduler = scheduler
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._jitter_fn = jitter_fn
+        self._stopped = False
+        self._event = self._schedule_next()
+
+    def _schedule_next(self) -> RealtimeEvent:
+        delay = self._interval
+        if self._jitter_fn is not None:
+            delay = max(0.0, delay + self._jitter_fn())
+        # Daemon: an armed periodic timer must not hold off quiescence.
+        return self._scheduler.schedule(delay, self._fire, daemon=True)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        if not self._stopped:
+            self._event = self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def jitter_fn(self) -> Optional[Callable[[], float]]:
+        return self._jitter_fn

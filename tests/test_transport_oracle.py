@@ -1,0 +1,49 @@
+"""Sim-as-oracle acceptance: the live transport must match the DES."""
+
+import json
+
+from repro.transport.oracle import (
+    compare_reports,
+    dump_divergences,
+    run_reference_workload,
+    validate_live_against_sim,
+)
+
+
+def test_live_run_matches_sim_oracle(tmp_path):
+    """THE acceptance check: same seed, same query results, same
+    aggregates, sanitizer clean on both backends."""
+    dump = tmp_path / "divergences.json"
+    divergences = validate_live_against_sim(dump_path=str(dump))
+    assert divergences == []
+    assert not dump.exists()  # no divergence, no dump
+
+
+def test_sim_report_is_reproducible():
+    a = run_reference_workload("sim")
+    b = run_reference_workload("sim")
+    assert a == b
+    assert a["sanitizer"] == []
+    assert all(q["satisfied"] for q in a["queries"])
+
+
+def test_compare_reports_flags_injected_divergence(tmp_path):
+    a = run_reference_workload("sim")
+    b = json.loads(json.dumps(a))  # deep copy
+    b["meta"]["transport"] = "asyncio"   # allowed to differ
+    assert compare_reports(a, b) == []
+    b["queries"][0]["satisfied"] = False
+    b["queries"][1]["entries"] = b["queries"][1]["entries"][1:]
+    b["sanitizer"] = ["conservation: off by one"]
+    divergences = compare_reports(a, b)
+    assert len(divergences) == 3
+    assert any("satisfied" in d for d in divergences)
+    assert any("entries" in d for d in divergences)
+    assert any("sanitizer" in d for d in divergences)
+
+    dump = tmp_path / "div.json"
+    dump_divergences(str(dump), a, b, divergences)
+    doc = json.loads(dump.read_text())
+    assert doc["divergences"] == divergences
+    assert doc["sim"]["meta"]["transport"] == "sim"
+    assert doc["live"]["meta"]["transport"] == "asyncio"

@@ -1,0 +1,144 @@
+"""RealtimeScheduler: the wall-clock stand-in for the DES Simulator."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.transport.realtime import RealtimeScheduler, RealtimeTimeout
+
+
+@pytest.fixture
+def sched():
+    s = RealtimeScheduler(time_scale=0.01, poll_interval_s=0.0005)
+    yield s
+    s.close()
+
+
+def test_schedule_fires_in_order(sched):
+    fired = []
+    sched.schedule(20.0, fired.append, "late")
+    sched.schedule(5.0, fired.append, "early")
+    sched.call_soon(fired.append, "now")
+    sched.run()
+    assert fired == ["now", "early", "late"]
+    assert sched.events_executed == 3
+    assert sched.pending_events == 0
+
+
+def test_now_advances_and_events_stamp_time(sched):
+    t0 = sched.now
+    seen = []
+    sched.schedule(50.0, lambda: seen.append(sched.now))
+    sched.run()
+    assert seen and seen[0] >= t0 + 50.0 * 0.5  # generous: wall jitter
+
+
+def test_cancel_prevents_execution(sched):
+    fired = []
+    event = sched.schedule(10.0, fired.append, "x")
+    event.cancel()
+    event.cancel()  # idempotent
+    sched.run()
+    assert fired == []
+    assert sched.pending_events == 0
+
+
+def test_post_and_schedule_at(sched):
+    fired = []
+    sched.post(1.0, fired.append, "posted")
+    sched.schedule_at(sched.now + 2.0, fired.append, "at")
+    sched.schedule_at(0.0, fired.append, "past-means-asap")
+    sched.run()
+    assert sorted(fired) == ["at", "past-means-asap", "posted"]
+
+
+def test_negative_delay_rejected(sched):
+    with pytest.raises(SimulationError):
+        sched.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.run_for(-5.0)
+
+
+def test_periodic_task_fires_and_stops(sched):
+    ticks = []
+    task = sched.schedule_periodic(5.0, lambda: ticks.append(sched.now))
+    assert not task.stopped
+    sched.run_until(lambda: len(ticks) >= 3, timeout=5_000.0)
+    task.stop()
+    assert task.stopped
+    count = len(ticks)
+    assert count >= 3
+    sched.run()  # daemon timers never block quiescence
+    assert len(ticks) == count
+
+
+def test_periodic_interval_must_be_positive(sched):
+    with pytest.raises(SimulationError):
+        sched.schedule_periodic(0.0, lambda: None)
+
+
+def test_run_until_predicate_and_timeout(sched):
+    box = []
+    sched.schedule(10.0, box.append, 1)
+    assert sched.run_until(lambda: box, timeout=5_000.0)
+    assert not sched.run_until(lambda: False, timeout=20.0)
+
+
+def test_callback_errors_propagate_to_pump(sched):
+    def boom():
+        raise RuntimeError("broken callback")
+
+    sched.schedule(1.0, boom)
+    with pytest.raises(RuntimeError, match="broken callback"):
+        sched.run()
+
+
+def test_report_error_surfaces(sched):
+    sched.report_error(ValueError("transport died"))
+    with pytest.raises(ValueError, match="transport died"):
+        sched.run_for(1.0)
+
+
+def test_step_and_idle_hooks(sched):
+    steps = []
+    idles = []
+    sched.set_step_hook(lambda now, seq: steps.append(seq))
+    sched.set_idle_hook(lambda: idles.append(True))
+    sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    sched.run()
+    assert len(steps) == 2
+    assert idles == [True]
+
+
+def test_idle_sources_hold_off_quiescence(sched):
+    busy = [True]
+    sched.add_idle_source(lambda: not busy[0])
+    sched.schedule(5.0, busy.__setitem__, 0, False)
+    sched.run()  # returns only once the source reports quiet
+    assert not busy[0]
+
+
+def test_wall_budget_raises(sched):
+    sched.max_wall_s = 0.05
+    sched.add_idle_source(lambda: False)  # never quiet
+    with pytest.raises(RealtimeTimeout):
+        sched.run()
+
+
+def test_close_is_idempotent_and_blocks_scheduling():
+    sched = RealtimeScheduler(time_scale=0.01)
+    sched.close()
+    sched.close()
+    with pytest.raises(SimulationError):
+        sched.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.run()
+
+
+def test_run_is_not_reentrant(sched):
+    def reenter():
+        sched.run()
+
+    sched.schedule(1.0, reenter)
+    with pytest.raises(SimulationError, match="not reentrant"):
+        sched.run()

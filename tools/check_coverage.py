@@ -46,6 +46,11 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "query" / "planner.py",
     REPO / "src" / "repro" / "scribe" / "buckets.py",
     REPO / "src" / "repro" / "scribe" / "rebalance.py",
+    REPO / "src" / "repro" / "transport" / "base.py",
+    REPO / "src" / "repro" / "transport" / "codec.py",
+    REPO / "src" / "repro" / "transport" / "sim.py",
+    REPO / "src" / "repro" / "transport" / "realtime.py",
+    REPO / "src" / "repro" / "transport" / "asyncio_transport.py",
 ]
 
 #: Test files that exercise them.
@@ -69,6 +74,12 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_scribe_buckets.py",
     REPO / "tests" / "test_property_range_oracle.py",
     REPO / "tests" / "test_rebalance.py",
+    REPO / "tests" / "test_transport_codec.py",
+    REPO / "tests" / "test_net_trace_ctx.py",
+    REPO / "tests" / "test_transport_realtime.py",
+    REPO / "tests" / "test_transport_asyncio.py",
+    REPO / "tests" / "test_transport_wire_safety.py",
+    REPO / "tests" / "test_transport_oracle.py",
 ]
 
 
