@@ -2,7 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos sanitize coverage trace planner rebalance live examples outputs clean
+.PHONY: install test bench chaos sanitize coverage trace planner rebalance live profile examples outputs clean
+
+# Hot-path profile gate: run the deterministic profiling harness on the
+# small canonical spec and fail if events/sec regressed more than 10%
+# below the floor checked into benchmarks/results/scale.json (refresh an
+# intentional change with `python tools/profile_core.py --write-floor`).
+profile:
+	$(PYTHON) tools/profile_core.py --check-floor
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop

@@ -11,7 +11,7 @@ and continuously checks the invariants registered in an
   event queue fully drains; suites can also call
   :meth:`Sanitizer.check_quiescent` explicitly;
 * **post-query** — a result listener on the shared
-  :class:`~repro.query.executor.QueryContext` records settlement ground
+  :class:`~repro.query.executor._QueryContext` records settlement ground
   truth and spot-checks the cheap invariants;
 * **post-fault-activation** — a :class:`~repro.faults.FaultInjector`
   listener marks churn disturbances (pausing grace-window invariants) and

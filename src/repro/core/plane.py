@@ -34,11 +34,12 @@ from repro.pastry.leafset import DEFAULT_LEAF_SET_SIZE
 from repro.pastry.nodeid import NodeId
 from repro.pastry.overlay import Overlay
 from repro.query.admission import AdmissionController
-from repro.query.executor import QueryApplication, QueryContext
+from repro.query.executor import QueryApplication, _QueryContext
 from repro.query.options import QueryOptions
 from repro.query.result import QueryResult
 from repro.query.sql import parse_query
 from repro.scribe.scribe import ScribeApplication
+from repro.sim import EngineProtocol
 from repro.sim.engine import Simulator
 from repro.sim.futures import Future
 from repro.sim.random_streams import RandomStreams
@@ -192,6 +193,11 @@ class RBay:
         self.registry = self._make_registry(cfg)
         self.latency = self._make_latency(cfg)
         loss_rng = self.streams.stream("network-loss") if cfg.loss_rate else None
+        #: The scheduling engine everything runs on.  Typed against the
+        #: structural :class:`~repro.sim.EngineProtocol`: the plane never
+        #: relies on anything outside that contract, which is what lets the
+        #: DES Simulator and the wall-clock RealtimeScheduler interchange.
+        self.sim: EngineProtocol
         if cfg.transport == "sim":
             self.sim = Simulator(batched=cfg.batching)
             self.network = SimTransport(
@@ -233,7 +239,7 @@ class RBay:
                                  max_spans=cfg.trace_max_spans)
         if self.obs.enabled:
             self.network.recorder = self.obs.recorder
-        self.context = QueryContext(
+        self.context = _QueryContext(
             self.sim,
             [site.name for site in self.registry],
             hierarchy=self.hierarchy,
@@ -244,7 +250,6 @@ class RBay:
             retry_slot_ms=cfg.retry_slot_ms,
             retry_rng=self.streams.stream("query-retry"),
             planner_enabled=cfg.planner,
-            _internal=True,
         )
         #: Bounded in-flight window every facade query is admitted through.
         self.admission = AdmissionController(self.sim, window=cfg.query_window,

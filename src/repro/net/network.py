@@ -93,6 +93,12 @@ class Network(Transport):
         #: unchanged — only the scheduling is shared.
         self.coalesce_delivery = coalesce_delivery
         self._pending_batches: Dict[Tuple[int, float], List[Tuple[Message, int]]] = {}
+        #: Batched deliveries may bypass the per-message ``_deliver`` call
+        #: only when no subclass customizes delivery (the codec shadow in
+        #: :class:`repro.transport.sim.SimTransport` re-enables it).
+        cls = type(self)
+        self._per_message_deliver = (cls._deliver is not Network._deliver
+                                     or cls._dispatch is not Network._dispatch)
         self.latency = latency if latency is not None else UniformLatencyModel()
         self.loss_rate = loss_rate
         self._loss_rng = loss_rng
@@ -123,6 +129,26 @@ class Network(Transport):
         #: stamps outgoing messages with the sender's current context and
         #: restores that context around each delivery.
         self.recorder = None
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> LatencyModel:
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        # Deterministic models (no jitter) are pure functions of the site
+        # pair, so the per-send delay lookup collapses to one dict get.
+        # The memo is keyed by the (hashable, frozen) Site objects and is
+        # rebuilt whenever the model is swapped; jittered models disable it.
+        self._latency = model
+        deterministic = getattr(model, "is_deterministic", None)
+        if deterministic is not None and deterministic():
+            self._lat_memo: Optional[Dict[Tuple[Site, Site], float]] = {}
+        else:
+            self._lat_memo = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -210,13 +236,26 @@ class Network(Transport):
                     return
                 extra_delay = decision.extra_delay_ms
                 copies += decision.duplicates
+        memo = self._lat_memo
+        if memo is not None:
+            pair = (src.site, dst_host.site)
+            base_delay = memo.get(pair)
+            if base_delay is None:
+                base_delay = self._latency.one_way_delay_ms(src.site,
+                                                            dst_host.site)
+                memo[pair] = base_delay
+        else:
+            base_delay = None
         for copy in range(copies):
             if copy:  # duplicates are extra wire packets: account them
                 self.messages_sent += 1
                 self.bytes_sent += size
                 self.per_host_sent[src.address] += 1
-            delay = (self.latency.one_way_delay_ms(src.site, dst_host.site)
-                     + self.processing_ms + extra_delay)
+            if base_delay is not None:
+                delay = base_delay + self.processing_ms + extra_delay
+            else:
+                delay = (self._latency.one_way_delay_ms(src.site, dst_host.site)
+                         + self.processing_ms + extra_delay)
             self.messages_in_flight += 1
             if self.coalesce_delivery:
                 # Exact float equality on the delivery instant is intended:
@@ -236,11 +275,41 @@ class Network(Transport):
         """Deliver every message coalesced under ``key``, in send order.
 
         Each message still gets its own full delivery bookkeeping — the
-        batch only shares the heap event.
+        batch only shares the heap event.  When no subclass customizes
+        ``_deliver``/``_dispatch``, the per-message bookkeeping is inlined
+        here: counter updates stay exact per message (a handler may crash
+        the destination mid-batch, and the sanitizer's conservation
+        invariant must hold at every instant), but the call overhead of
+        ``_deliver`` → ``_dispatch`` is paid once per batch instead of
+        once per message.
         """
         dst_address = key[0]
-        for msg, size in self._pending_batches.pop(key):
-            self._deliver(dst_address, msg, size)
+        batch = self._pending_batches.pop(key)
+        if self._per_message_deliver:
+            for msg, size in batch:
+                self._deliver(dst_address, msg, size)
+            return
+        hosts = self._hosts
+        for msg, size in batch:
+            self.messages_in_flight -= 1
+            host = hosts.get(dst_address)
+            if host is None or not host.alive:
+                self.messages_dropped += 1
+                continue
+            self.messages_delivered += 1
+            self.per_host_received[dst_address] += 1
+            self.per_host_bytes_in[dst_address] += size
+            if msg.trace is not None:
+                msg.trace.append(dst_address)
+            recorder = self.recorder
+            if recorder is None or not recorder.enabled or msg.trace_ctx is None:
+                hook = self._delivery_hook
+                if hook is not None:
+                    hook(msg)
+                host.on_message(msg)
+            else:
+                deliver_traced(recorder, msg,
+                               lambda h=host, m=msg: self._dispatch(h, m))
 
     def _deliver(self, dst_address: int, msg: Message, size: int) -> None:
         self.messages_in_flight -= 1

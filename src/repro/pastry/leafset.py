@@ -29,6 +29,12 @@ class LeafSet:
         # Sorted by clockwise distance from owner (nearest first).
         self._cw: List[NodeRef] = []   # successors (larger ids, wrapping)
         self._ccw: List[NodeRef] = []  # predecessors
+        # Membership index: addresses of every current member, so the
+        # duplicate check in add() is one set probe, not a list scan.
+        self._addrs: set = set()
+        #: Monotonic membership-change counter; next-hop caches compare it
+        #: to detect staleness without subscribing to mutations.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -37,20 +43,23 @@ class LeafSet:
         """Consider ``ref`` for membership; returns True if stored."""
         if ref.node_id == self.owner_id:
             return False
-        if any(r.address == ref.address for r in self._cw + self._ccw):
+        if ref.address in self._addrs:
             return False
-        stored = False
         cw_dist = self.owner_id.clockwise_distance(ref.node_id)
         side = self._cw if cw_dist <= (1 << 127) else self._ccw
-        key = cw_dist if side is self._cw else (1 << 128) - cw_dist
         side.append(ref)
         side.sort(key=lambda r: self._side_distance(r, side is self._cw))
         if len(side) > self.half:
             dropped = side.pop()
             stored = dropped.address != ref.address
+            if stored:
+                self._addrs.discard(dropped.address)
+                self._addrs.add(ref.address)
         else:
             stored = True
-        del key
+            self._addrs.add(ref.address)
+        if stored:
+            self.version += 1
         return stored
 
     def _side_distance(self, ref: NodeRef, clockwise: bool) -> int:
@@ -58,10 +67,16 @@ class LeafSet:
         return d if clockwise else (1 << 128) - d
 
     def remove(self, address: int) -> bool:
+        """Drop ``address`` from both arcs; True if anything was removed
+        (which also bumps :attr:`version`, invalidating hop caches)."""
         before = len(self._cw) + len(self._ccw)
         self._cw = [r for r in self._cw if r.address != address]
         self._ccw = [r for r in self._ccw if r.address != address]
-        return len(self._cw) + len(self._ccw) != before
+        removed = len(self._cw) + len(self._ccw) != before
+        if removed:
+            self._addrs.discard(address)
+            self.version += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Queries
@@ -122,4 +137,4 @@ class LeafSet:
         return len(self._cw) + len(self._ccw)
 
     def __contains__(self, address: int) -> bool:
-        return any(r.address == address for r in self.members())
+        return address in self._addrs

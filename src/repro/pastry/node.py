@@ -68,6 +68,14 @@ class PastryNode(Host):
         # Round counter for the periodic neighbor exchange (alternates the
         # exchange partner between the leaf set's two extremes).
         self._exchange_round = 0
+        # Memoized next-hop resolutions, keyed by key value, one cache per
+        # scope.  Each entry records the (leaf set + routing table) version
+        # sum it was computed under; both counters are monotonic, so an
+        # equal sum proves the structures are untouched since the entry was
+        # stored.  Entries additionally recheck destination liveness on
+        # every hit (a peer can crash without mutating our state).
+        self._hop_cache: Dict[int, tuple] = {}
+        self._site_hop_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Application registry
@@ -116,16 +124,21 @@ class PastryNode(Host):
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, msg: Message) -> None:
-        """Network entry point: dispatch routed/direct/repair messages."""
-        if msg.kind == "pastry.route":
-            self._handle_route(msg, local=False)
-        elif msg.kind == "pastry.direct":
+        """Network entry point: dispatch routed/direct/repair messages.
+
+        Direct application traffic (aggregation pushes, probes) dominates
+        routed traffic in steady state, so it is tested first.
+        """
+        kind = msg.kind
+        if kind == "pastry.direct":
             app = self.apps.get(msg.payload["app"])
             if app is not None:
                 app.host_message(self, msg)
             else:
                 self.stats["unknown_app"] += 1
-        elif msg.kind == "pastry.ls_req":
+        elif kind == "pastry.route":
+            self._handle_route(msg, local=False)
+        elif kind == "pastry.ls_req":
             # Leaf-set exchange: reply with our neighborhood (global and
             # site-scoped, like announce) so the asker can refill holes
             # left by failed nodes and relearn recovered same-site peers.
@@ -138,7 +151,7 @@ class PastryNode(Host):
             refs.append((self.node_id.value, self.address, self.site.index))
             self.send(msg.payload["origin"], Message(kind="pastry.ls_rep",
                                                      payload={"refs": refs}))
-        elif msg.kind == "pastry.ls_rep":
+        elif kind == "pastry.ls_rep":
             for id_value, address, site_index in msg.payload["refs"]:
                 # The replier's own state may still hold failed nodes; the
                 # liveness probe (connection attempt) filters them here.
@@ -226,29 +239,67 @@ class PastryNode(Host):
             return self.site_leaf_set, self.site_routing_table
         return self.leaf_set, self.routing_table
 
+    #: Hop-cache size bound; crossed only by workloads routing to an
+    #: unusual number of distinct keys, which simply restart the memo.
+    _HOP_CACHE_LIMIT = 4096
+
     def _next_hop(self, key: NodeId, scope: str = "global") -> Optional[NodeRef]:
         """Resolve the next hop, repairing around dead entries.
 
         Returns None when this node is the key's root (deliver locally).
+
+        Resolutions are memoized per key: with the routing structures
+        unchanged (version sum equal) and the cached hop still reachable,
+        a from-scratch resolve provably returns the same hop — ``covers``/
+        ``closer_than_owner``/``next_hop`` are pure functions of the
+        structures, and the repair loops only engage when the resolved
+        candidate is dead (which the hit path rechecks).  Rare-case hops
+        are never cached: that path skips dead nodes *without* mutating
+        state, so a node resurrecting at its old address could change the
+        answer while the version sum stays put.
         """
-        leaf_set, table = self._state(scope)
+        if scope == "global":
+            leaf_set, table = self.leaf_set, self.routing_table
+            cache = self._hop_cache
+        else:
+            leaf_set, table = self._state(scope)
+            cache = self._site_hop_cache
+        version = leaf_set.version + table.version
+        cached = cache.get(key.value)
+        if cached is not None:
+            if cached[0] == version:
+                hop = cached[1]
+                if hop is None:
+                    return None
+                if self.network is not None and self.network.has_host(hop.address):
+                    return hop
+            del cache[key.value]
         if key == self.node_id:
-            return None
-        if leaf_set.covers(key):
+            hop: Optional[NodeRef] = None
+        elif leaf_set.covers(key):
             candidate = leaf_set.closer_than_owner(key)
             while candidate is not None and not self._is_alive(candidate):
                 leaf_set.remove(candidate.address)
                 table.remove(candidate.address)
                 candidate = leaf_set.closer_than_owner(key)
-            return candidate
-        entry = table.next_hop(key)
-        if entry is not None:
-            if self._is_alive(entry):
-                return entry
-            table.remove(entry.address)
-        # Rare case: no table entry — take any known node that makes strict
-        # progress (longer or equal prefix and numerically closer).
-        return self._rare_case_hop(key, leaf_set, table)
+            hop = candidate
+        else:
+            entry = table.next_hop(key)
+            if entry is not None and self._is_alive(entry):
+                hop = entry
+            else:
+                if entry is not None:
+                    table.remove(entry.address)
+                # Rare case: no table entry — take any known node that makes
+                # strict progress (longer or equal prefix and numerically
+                # closer).  Not cacheable (see docstring).
+                return self._rare_case_hop(key, leaf_set, table)
+        if len(cache) >= self._HOP_CACHE_LIMIT:
+            cache.clear()
+        # Repairs above may have bumped the versions; stamp the entry with
+        # the post-repair sum so it is valid from this instant on.
+        cache[key.value] = (leaf_set.version + table.version, hop)
+        return hop
 
     def _rare_case_hop(self, key: NodeId, leaf_set: LeafSet, table: RoutingTable) -> Optional[NodeRef]:
         own_prefix = self.node_id.shared_prefix_len(key)

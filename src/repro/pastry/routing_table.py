@@ -43,6 +43,10 @@ class RoutingTable:
         # Rows allocated lazily: most of the 32 rows stay empty in practice
         # (only ~log_16(N) rows are populated).
         self._rows: List[Optional[List[Optional[NodeRef]]]] = [None] * DIGITS
+        #: Monotonic entry-change counter; next-hop caches compare it to
+        #: detect staleness (bumped on every stored add and every removal,
+        #: including proximity-driven slot replacements).
+        self.version = 0
 
     # ------------------------------------------------------------------
     def _row(self, r: int, create: bool = False) -> Optional[List[Optional[NodeRef]]]:
@@ -68,6 +72,7 @@ class RoutingTable:
         current = row[col]
         if current is None or ref.proximity_ms < current.proximity_ms:
             row[col] = ref
+            self.version += 1
             return True
         return False
 
@@ -81,6 +86,8 @@ class RoutingTable:
                 if ref is not None and ref.address == address:
                     row[col] = None
                     removed = True
+        if removed:
+            self.version += 1
         return removed
 
     # ------------------------------------------------------------------

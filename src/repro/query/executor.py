@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import itertools
 import random
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
@@ -45,11 +44,6 @@ _request_ids = itertools.count(1)
 
 #: Cap used for "SELECT *" queries so anycast buffers stay bounded.
 UNBOUNDED_K = 1_000_000
-
-
-#: Sentinel distinguishing "argument omitted" from an explicit None in the
-#: deprecated ``execute(...)`` keyword shim.
-_UNSET: Any = object()
 
 
 @dataclass
@@ -93,17 +87,16 @@ class _ResultDraft:
         )
 
 
-class QueryContext:
+class _QueryContext:
     """Federation-wide knowledge shared by every query interface.
 
     Holds what the paper distributes out-of-band: the site list, each
     site's boundary routers, and the hybrid naming catalog.
 
-    .. deprecated::
-        QueryContext is internal plumbing: the plane builds exactly one and
-        wires it everywhere.  Direct construction emits a
-        ``DeprecationWarning`` — go through :class:`repro.core.plane.RBay`
-        and its ``query``/``submit`` facade instead.
+    Internal plumbing: the plane builds exactly one and wires it
+    everywhere.  Go through :class:`repro.core.plane.RBay` and its
+    ``query``/``submit`` facade — the class is private and the formerly
+    public ``QueryContext`` name is gone.
     """
 
     def __init__(
@@ -121,15 +114,8 @@ class QueryContext:
         retry_rng: Optional[random.Random] = None,
         bucket_index: Optional["BucketIndex"] = None,
         planner_enabled: bool = True,
-        _internal: bool = False,
     ):
         from repro.core.naming import AttributeHierarchy  # lazy: avoids cycle
-
-        if not _internal:
-            warnings.warn(
-                "constructing QueryContext directly is deprecated; build an "
-                "RBay plane and use its query()/submit() facade",
-                DeprecationWarning, stacklevel=2)
 
         self.sim = sim
         self.site_names = list(site_names)
@@ -211,7 +197,7 @@ class QueryApplication(Application):
 
     name = "query"
 
-    def __init__(self, context: QueryContext,
+    def __init__(self, context: _QueryContext,
                  counters: Optional[CounterRegistry] = None,
                  obs: Optional[Observability] = None):
         self.context = context
@@ -263,17 +249,13 @@ class QueryApplication(Application):
         node: "RBayNode",
         query: Query,
         options: Optional[QueryOptions] = None,
-        *,
-        payload: Any = _UNSET,
-        caller: Any = _UNSET,
-        timeout: Any = _UNSET,
     ) -> Future:
         """Run ``query`` from ``node``; resolves to a :class:`QueryResult`.
 
         Execution knobs travel in ``options`` (a frozen
-        :class:`~repro.query.options.QueryOptions`).  The old ``payload``/
-        ``caller``/``timeout`` keyword arguments still work but emit a
-        ``DeprecationWarning`` and are folded into the options bundle.
+        :class:`~repro.query.options.QueryOptions`) — the only entry point;
+        the pre-options ``payload``/``caller``/``timeout`` keywords have
+        been removed.
 
         Failure contract: the future resolves to a QueryResult — possibly
         ``degraded=True`` with the unreachable sites listed — or, when the
@@ -283,15 +265,6 @@ class QueryApplication(Application):
         including late answers that arrive after the query concluded.
         """
         opts = options if options is not None else QueryOptions()
-        legacy = {key: value for key, value in
-                  (("payload", payload), ("caller", caller),
-                   ("deadline_ms", timeout)) if value is not _UNSET}
-        if legacy:
-            warnings.warn(
-                "execute(payload=/caller=/timeout=) keywords are deprecated; "
-                "pass QueryOptions(payload=..., caller=..., deadline_ms=...)",
-                DeprecationWarning, stacklevel=2)
-            opts = replace(opts, **legacy)
         if opts.k is not None:
             query = replace(query, k=opts.k)
         retries = opts.retries

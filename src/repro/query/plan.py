@@ -18,7 +18,7 @@ from repro.query.predicates import Predicate
 from repro.query.sql import Query
 
 if TYPE_CHECKING:
-    from repro.query.executor import QueryContext
+    from repro.query.executor import _QueryContext
 
 
 @dataclass
@@ -111,7 +111,7 @@ class QueryPlan:
         return "\n".join(lines)
 
 
-def plan_query(query: Query, context: "QueryContext",
+def plan_query(query: Query, context: "_QueryContext",
                size_hints: Optional[Dict[str, int]] = None) -> QueryPlan:
     """Build the static plan the executor would follow for ``query``.
 

@@ -42,7 +42,7 @@ from repro.query.predicates import Predicate
 from repro.scribe.buckets import Bucket, BucketSpec, predicate_interval
 
 if TYPE_CHECKING:
-    from repro.query.executor import QueryContext
+    from repro.query.executor import _QueryContext
 
 #: Members assumed in a bucket whose size is not cached (coarse prior).
 DEFAULT_SIZE_ESTIMATE = 8
@@ -98,7 +98,7 @@ def _estimate(hints: Dict[str, int], qualify, tree: str) -> Optional[int]:
 
 
 def route_predicate(
-    context: "QueryContext",
+    context: "_QueryContext",
     predicate: Predicate,
     k: Optional[int],
     hints: Optional[Dict[str, int]] = None,
@@ -183,7 +183,7 @@ def route_predicate(
 
 
 def route_predicates(
-    context: "QueryContext",
+    context: "_QueryContext",
     predicates: List[Predicate],
     k: Optional[int],
     hints: Optional[Dict[str, int]] = None,
@@ -196,7 +196,7 @@ def route_predicates(
 
 
 def plan_group_pushdown(
-    context: "QueryContext",
+    context: "_QueryContext",
     predicates: List[Predicate],
     group_by: str,
     planner_on: bool = True,
@@ -230,7 +230,7 @@ def plan_group_pushdown(
     return [chosen[i] for i in sorted(chosen)]
 
 
-def group_label(context: "QueryContext", group_by: str, value: Any) -> str:
+def group_label(context: "_QueryContext", group_by: str, value: Any) -> str:
     """The group a member's value falls in: its bucket's label when the
     attribute is bucket-indexed, else the canonical value rendering."""
     from repro.core.naming import _canonical_value  # lazy: avoids cycle

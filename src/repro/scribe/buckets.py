@@ -228,7 +228,7 @@ class BucketSpec:
 class BucketIndex:
     """Registry of the federation's bucketed attributes.
 
-    One instance lives on the :class:`~repro.query.executor.QueryContext`;
+    One instance lives on the :class:`~repro.query.executor._QueryContext`;
     sites consult it both when subscribing nodes into bucket trees and
     when planning range queries, which keeps naming agreement automatic.
     """

@@ -22,6 +22,13 @@ memoization primitives that amortize that cost:
 
 Both caches optionally report hit/miss/invalidation counts into a
 :class:`repro.metrics.counters.CounterRegistry` under a dotted prefix.
+
+Hot-path note: these caches sit directly on the publish path — every
+``set_local`` invalidates, every flush recomputes — so storage is nested
+per-topic dicts (no tuple-key allocation per access), counter names are
+preformatted once at construction, and :meth:`TTLCache.invalidate_topic`
+is O(entries *of that topic*) via a topic index rather than a scan of the
+whole cache.
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from repro.metrics.counters import CounterRegistry
+
+#: Sentinel distinguishing "no cached entry" from a cached None.
+_MISS = object()
 
 
 class SubtreeAggregateCache:
@@ -42,24 +52,46 @@ class SubtreeAggregateCache:
 
     def __init__(self, counters: Optional[CounterRegistry] = None,
                  prefix: str = "scribe.acc_cache"):
-        self._entries: Dict[Tuple[str, str], Any] = {}
+        # topic -> {agg_name -> accumulator}
+        self._entries: Dict[str, Dict[str, Any]] = {}
         self._counters = counters
         self._prefix = prefix
-
-    def _count(self, event: str) -> None:
-        if self._counters is not None:
-            self._counters.increment(f"{self._prefix}.{event}")
+        self._hit_name = prefix + ".hit"
+        self._miss_name = prefix + ".miss"
+        self._invalidate_name = prefix + ".invalidate"
 
     # ------------------------------------------------------------------
+    def peek(self, topic: str, agg_name: str) -> Any:
+        """The memoized accumulator, or the module ``_MISS`` sentinel.
+
+        Counts a hit or a miss exactly like :meth:`get`; a caller that
+        computes after a miss must :meth:`store` the result to keep the
+        counter stream identical to the ``get``-with-compute path.
+        """
+        per_topic = self._entries.get(topic)
+        if per_topic is not None:
+            value = per_topic.get(agg_name, _MISS)
+            if value is not _MISS:
+                if self._counters is not None:
+                    self._counters.increment(self._hit_name)
+                return value
+        if self._counters is not None:
+            self._counters.increment(self._miss_name)
+        return _MISS
+
+    def store(self, topic: str, agg_name: str, value: Any) -> None:
+        """Memoize ``value`` (the computed-after-miss half of :meth:`peek`)."""
+        per_topic = self._entries.get(topic)
+        if per_topic is None:
+            per_topic = self._entries[topic] = {}
+        per_topic[agg_name] = value
+
     def get(self, topic: str, agg_name: str, compute: Callable[[], Any]) -> Any:
         """Return the memoized accumulator, computing and storing on miss."""
-        key = (topic, agg_name)
-        if key in self._entries:
-            self._count("hit")
-            return self._entries[key]
-        self._count("miss")
-        value = compute()
-        self._entries[key] = value
+        value = self.peek(topic, agg_name)
+        if value is _MISS:
+            value = compute()
+            self.store(topic, agg_name, value)
         return value
 
     def invalidate(self, topic: str, agg_name: Optional[str] = None) -> int:
@@ -68,17 +100,40 @@ class SubtreeAggregateCache:
         Returns the number of entries actually removed; only those count
         as invalidations in the metrics.
         """
+        per_topic = self._entries.get(topic)
+        if not per_topic:
+            return 0
         if agg_name is not None:
-            keys = [(topic, agg_name)] if (topic, agg_name) in self._entries else []
+            if agg_name not in per_topic:
+                return 0
+            del per_topic[agg_name]
+            removed = 1
         else:
-            keys = [k for k in self._entries if k[0] == topic]
-        for key in keys:
-            del self._entries[key]
-            self._count("invalidate")
-        return len(keys)
+            removed = len(per_topic)
+            per_topic.clear()
+        if self._counters is not None:
+            self._counters.increment(self._invalidate_name, removed)
+        return removed
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(per_topic) for per_topic in self._entries.values())
+
+
+def _key_topic(key: Hashable) -> Optional[str]:
+    """The topic a TTL-cache key belongs to, for the invalidation index.
+
+    Keys are either bare topic names or tuples whose first element is the
+    topic; anything else is never matched by topic invalidation (same
+    contract as the original full-scan implementation).
+    """
+    if type(key) is str:
+        return key
+    if isinstance(key, tuple) and key:
+        first = key[0]
+        return first if isinstance(first, str) else None
+    if isinstance(key, str):
+        return key
+    return None
 
 
 class TTLCache:
@@ -94,12 +149,13 @@ class TTLCache:
     def __init__(self, counters: Optional[CounterRegistry] = None,
                  prefix: str = "ttl_cache"):
         self._entries: Dict[Hashable, Tuple[Any, float]] = {}
+        # topic -> set of live keys for that topic (invalidation index).
+        self._by_topic: Dict[str, set] = {}
         self._counters = counters
         self._prefix = prefix
-
-    def _count(self, event: str) -> None:
-        if self._counters is not None:
-            self._counters.increment(f"{self._prefix}.{event}")
+        self._hit_name = prefix + ".hit"
+        self._miss_name = prefix + ".miss"
+        self._invalidate_name = prefix + ".invalidate"
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable, now: float,
@@ -108,22 +164,34 @@ class TTLCache:
 
         A hit requires an entry stored no more than ``max_age_ms`` ago.
         """
+        counters = self._counters
         if max_age_ms is None or max_age_ms <= 0:
-            self._count("miss")
+            if counters is not None:
+                counters.increment(self._miss_name)
             return False, None
         entry = self._entries.get(key)
         if entry is None:
-            self._count("miss")
+            if counters is not None:
+                counters.increment(self._miss_name)
             return False, None
         value, stored_at = entry
         if now - stored_at > max_age_ms:
-            self._count("miss")
+            if counters is not None:
+                counters.increment(self._miss_name)
             return False, None
-        self._count("hit")
+        if counters is not None:
+            counters.increment(self._hit_name)
         return True, value
 
     def put(self, key: Hashable, value: Any, now: float) -> None:
         """Store ``value`` for ``key``, stamped with the current time."""
+        if key not in self._entries:
+            topic = _key_topic(key)
+            if topic is not None:
+                bucket = self._by_topic.get(topic)
+                if bucket is None:
+                    bucket = self._by_topic[topic] = set()
+                bucket.add(key)
         self._entries[key] = (value, now)
 
     # ------------------------------------------------------------------
@@ -131,18 +199,29 @@ class TTLCache:
         """Drop one entry; returns True when something was removed."""
         if key in self._entries:
             del self._entries[key]
-            self._count("invalidate")
+            topic = _key_topic(key)
+            if topic is not None:
+                bucket = self._by_topic.get(topic)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self._by_topic[topic]
+            if self._counters is not None:
+                self._counters.increment(self._invalidate_name)
             return True
         return False
 
     def invalidate_topic(self, topic: str) -> int:
         """Drop every entry keyed by ``topic`` — either the bare topic name
         or a tuple whose first element is the topic.  Returns the count."""
-        keys = [k for k in self._entries
-                if k == topic or (isinstance(k, tuple) and k and k[0] == topic)]
+        keys = self._by_topic.pop(topic, None)
+        if not keys:
+            return 0
+        entries = self._entries
         for key in keys:
-            del self._entries[key]
-            self._count("invalidate")
+            del entries[key]
+        if self._counters is not None:
+            self._counters.increment(self._invalidate_name, len(keys))
         return len(keys)
 
     def fresh_items(self, now: float, max_age_ms: Optional[float]) -> Dict[Hashable, Any]:

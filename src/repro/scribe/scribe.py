@@ -10,6 +10,7 @@ spanning tree rooted at the node closest to the TopicId.
 from __future__ import annotations
 
 import itertools
+from sys import intern as _intern
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.metrics.counters import CounterRegistry
@@ -19,7 +20,7 @@ from repro.pastry.node import Application, PastryNode
 from repro.pastry.nodeid import NodeId
 from repro.pastry.routing_table import NodeRef
 from repro.scribe.aggregate import AGGREGATE_FUNCTIONS, AggregateFunction
-from repro.scribe.cache import SubtreeAggregateCache, TTLCache
+from repro.scribe.cache import _MISS, SubtreeAggregateCache, TTLCache
 from repro.scribe.topic import topic_id
 from repro.sim.engine import Simulator
 from repro.sim.futures import Future
@@ -150,12 +151,18 @@ class ScribeApplication(Application):
     # Public API (called with the owning node)
     # ------------------------------------------------------------------
     def topic_state(self, topic: str, scope: Optional[str] = None) -> TopicState:
-        """This node's state for ``topic``, created lazily."""
-        if topic not in self._topics:
-            self._topics[topic] = TopicState(
+        """This node's state for ``topic``, created lazily.
+
+        Topic names are interned on creation: the same few strings arrive
+        over and over from decoded payloads, and interning makes every
+        downstream dict lookup a pointer comparison in the common case.
+        """
+        state = self._topics.get(topic)
+        if state is None:
+            topic = _intern(topic)
+            state = self._topics[topic] = TopicState(
                 topic, topic_id(topic, self.creator), scope or "global"
             )
-        state = self._topics[topic]
         if scope is not None:
             state.scope = scope
         return state
@@ -284,10 +291,12 @@ class ScribeApplication(Application):
         """Set this member's contribution to an aggregate and push deltas up."""
         if agg_name not in self.functions:
             raise KeyError(f"unknown aggregate function {agg_name!r}")
-        state = self.topic_state(topic)
+        state = self._topics.get(topic)
+        if state is None:
+            state = self.topic_state(topic)
         state.local[agg_name] = value
         self._recompute_and_push(node, state, only=agg_name)
-        self._notify_tree_change(topic)
+        self._notify_tree_change(state.topic)
 
     def clear_local(self, node: PastryNode, topic: str, agg_name: str) -> None:
         state = self._topics.get(topic)
@@ -557,7 +566,14 @@ class ScribeApplication(Application):
             elif kind == "agg_push_batch":
                 for update in data["updates"]:
                     self.rebalancer.record(update["topic"])
-        if kind == "parent_set":
+        # Dispatch chain ordered hottest-first: the publish storm makes
+        # roll-up batches (and, on the unbatched arm, single pushes) the
+        # overwhelming majority of direct traffic.
+        if kind == "agg_push_batch":
+            self._on_agg_push_batch(node, data, msg.payload["origin"])
+        elif kind == "agg_push":
+            self._on_agg_push(node, data, msg.payload["origin"])
+        elif kind == "parent_set":
             self._on_parent_set(node, data["topic"], msg.payload["origin"])
         elif kind == "mcast_down":
             state = self.topic_state(data["topic"])
@@ -577,10 +593,6 @@ class ScribeApplication(Application):
                              reply_to=("parent", msg.payload["origin"], data["pull_id"]))
         elif kind == "pull_up":
             self._on_pull_up(node, data)
-        elif kind == "agg_push":
-            self._on_agg_push(node, data, msg.payload["origin"])
-        elif kind == "agg_push_batch":
-            self._on_agg_push_batch(node, data, msg.payload["origin"])
         elif kind == "agg_value":
             # Write-through refresh: every answer that travels back —
             # pushed-state reads and on-demand pulls alike — re-arms the
@@ -851,12 +863,16 @@ class ScribeApplication(Application):
         :meth:`_recompute_and_push`, so a cache hit is always exactly the
         value :meth:`_compute_own_acc` would return.
         """
-        if self.acc_cache is None:
+        cache = self.acc_cache
+        if cache is None:
             return self._compute_own_acc(state, agg_name)
-        return self.acc_cache.get(
-            state.topic, agg_name,
-            lambda: self._compute_own_acc(state, agg_name),
-        )
+        # peek/store instead of get(compute=...): the closure allocation is
+        # measurable at flush rates, and the counter stream is identical.
+        value = cache.peek(state.topic, agg_name)
+        if value is _MISS:
+            value = self._compute_own_acc(state, agg_name)
+            cache.store(state.topic, agg_name, value)
+        return value
 
     def _compute_own_acc(self, state: TopicState, agg_name: str) -> Any:
         """Roll this node's accumulator up from its raw inputs (uncached)."""
@@ -872,22 +888,32 @@ class ScribeApplication(Application):
                             only: Optional[str] = None,
                             names: Optional[List[str]] = None) -> None:
         """Invalidate memos, mark aggregates dirty, arm the flush timer."""
-        if names is None:
-            names = [only] if only is not None else state.agg_names()
-        names = [n for n in names if n in self.functions]
-        if self.acc_cache is not None:
-            for agg_name in names:
-                self.acc_cache.invalidate(state.topic, agg_name)
-        state.dirty.update(names)
-        if not state.dirty:
-            return
+        if names is None and only is not None:
+            # Hot path (one aggregate per publish): skip the list builds.
+            if only in self.functions:
+                if self.acc_cache is not None:
+                    self.acc_cache.invalidate(state.topic, only)
+                state.dirty.add(only)
+            if not state.dirty:
+                return
+        else:
+            if names is None:
+                names = state.agg_names()
+            names = [n for n in names if n in self.functions]
+            if self.acc_cache is not None:
+                for agg_name in names:
+                    self.acc_cache.invalidate(state.topic, agg_name)
+            state.dirty.update(names)
+            if not state.dirty:
+                return
         if self.agg_flush_ms <= 0:
             # Undebounced ablation path: every change cascades immediately
             # as an individual "agg_push" (the pre-batching behaviour).
             self._flush_topic(node, state)
             return
         self._dirty_topics[state.topic] = state
-        if self._flush_event is None or self._flush_event.cancelled:
+        flush_event = self._flush_event
+        if flush_event is None or flush_event.cancelled:
             self._flush_event = self.sim.schedule(
                 self.agg_flush_ms, self._flush_all, node
             )
@@ -932,9 +958,10 @@ class ScribeApplication(Application):
         self._flush_event = None
         dirty_topics, self._dirty_topics = self._dirty_topics, {}
         batches: Dict[int, List[Dict[str, Any]]] = {}
+        has_host = node.network.has_host
         for state in dirty_topics.values():
             for agg_name, acc in self._changed_accs(state):
-                if node.network.has_host(state.parent):
+                if has_host(state.parent):
                     batches.setdefault(state.parent, []).append({
                         "topic": state.topic, "agg": agg_name, "acc": acc,
                     })
@@ -951,9 +978,13 @@ class ScribeApplication(Application):
         self._recompute_and_push(node, state)
 
     def _on_agg_push(self, node: PastryNode, data: Dict[str, Any], child_addr: int) -> None:
-        state = self.topic_state(data["topic"])
-        agg_name = data["agg"]
-        acc = data["acc"]
+        self._apply_push(node, data["topic"], data["agg"], data["acc"],
+                         data.get("child"), child_addr)
+
+    def _apply_push(self, node: PastryNode, topic: str, agg_name: str,
+                    acc: Any, child: Optional[Any], child_addr: int) -> None:
+        """One child accumulator install (single pushes and batch entries)."""
+        state = self.topic_state(topic)
         if isinstance(acc, list):
             acc = tuple(acc)  # tuples survive payload round-trips as lists
         if child_addr not in state.children:
@@ -967,15 +998,18 @@ class ScribeApplication(Application):
                 node.send_app(child_addr, self.name, "parent_gone",
                               {"topic": state.topic})
                 return
-            if "child" in data:
+            if child is not None:
                 # A pusher we do not list as a child: it kept its parent
                 # pointer across our crash-recovery (or we pruned it while
                 # it was down).  Re-adopt it so pruning and child probes
                 # see it again.
-                child_id, _, child_site = data["child"]
+                child_id, _, child_site = child
                 self._add_child(node, state,
                                 NodeRef(NodeId(child_id), child_addr, child_site))
-        state.child_acc.setdefault(agg_name, {})[child_addr] = acc
+        per_child = state.child_acc.get(agg_name)
+        if per_child is None:
+            per_child = state.child_acc[agg_name] = {}
+        per_child[child_addr] = acc
         self._recompute_and_push(node, state, only=agg_name)
         self._notify_tree_change(state.topic)
 
@@ -984,8 +1018,10 @@ class ScribeApplication(Application):
         """Unpack a debounced batch: each update gets the full single-push
         treatment (re-adoption, accumulator install, upward re-dirtying)."""
         child = data["child"]
+        apply_push = self._apply_push
         for update in data["updates"]:
-            self._on_agg_push(node, {**update, "child": child}, child_addr)
+            apply_push(node, update["topic"], update["agg"], update["acc"],
+                       child, child_addr)
 
     def _on_parent_gone(self, node: PastryNode, data: Dict[str, Any],
                         origin: int) -> None:

@@ -56,7 +56,11 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Hot comparator (every heap sift calls it): ordering is by
+        # (time, seq) but written branchy to avoid two tuple allocations.
+        if self.time < other.time:
+            return True
+        return self.time == other.time and self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -85,6 +89,7 @@ class Simulator:
         self._running = False
         self._step_hook: Optional[Callable[[float, int], None]] = None
         self._idle_hook: Optional[Callable[[], None]] = None
+        self._idle_sources: list[Callable[[], bool]] = []
         self.batched = batched
         self._pool: list[Event] = []
 
@@ -103,6 +108,15 @@ class Simulator:
         checks here.  The hook must only observe (never schedule work);
         ``None`` uninstalls."""
         self._idle_hook = hook
+
+    def add_idle_source(self, source: Callable[[], bool]) -> None:
+        """Register a quiescence predicate (engine-protocol parity with
+        :class:`~repro.transport.realtime.RealtimeScheduler`).
+
+        The DES heap is the only work queue, so sources cannot *unblock*
+        anything — they only gate the idle hook, which fires when the heap
+        drains **and** every registered source reports quiet."""
+        self._idle_sources.append(source)
 
     # ------------------------------------------------------------------
     # Clock
@@ -235,7 +249,8 @@ class Simulator:
                 self._run_legacy(until, max_events)
         finally:
             self._running = False
-        if self._idle_hook is not None and not self._heap:
+        if (self._idle_hook is not None and not self._heap
+                and all(source() for source in self._idle_sources)):
             self._idle_hook()
 
     def _run_batched(self, until: Optional[float], max_events: Optional[int]) -> None:

@@ -19,10 +19,17 @@ Events emitted this way therefore show up in span exports (JSON / Chrome
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional
 
-from repro.obs.spans import Span, SpanRecorder
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import Span, SpanRecorder
+
+# NOTE: ``repro.obs.spans`` is imported lazily (inside ``Tracer.__init__``)
+# so that merely importing this module — which hot-path modules reach via
+# ``repro.sim`` — never pays for the observability plane when tracing is
+# off.  The NULL_TRACER fast path below touches no span machinery at all.
 
 
 @dataclass(frozen=True)
@@ -54,8 +61,10 @@ class Tracer:
         self.max_events = max_events
         self._filter = None if categories is None else frozenset(categories)
         self._owns_recorder = recorder is None
-        self.recorder = (SpanRecorder(sim, max_spans=max_events)
-                         if recorder is None else recorder)
+        if recorder is None:
+            from repro.obs.spans import SpanRecorder  # lazy: see module note
+            recorder = SpanRecorder(sim, max_spans=max_events)
+        self.recorder = recorder
         #: This tracer's own emissions (span objects), so a shared
         #: recorder's protocol spans never leak into the flat views.
         self._spans: List[Span] = []

@@ -65,7 +65,12 @@ class RealtimeEvent:
 
 
 class RealtimeScheduler:
-    """Drop-in ``Simulator`` for live transports (see module docstring)."""
+    """Drop-in ``Simulator`` for live transports (see module docstring).
+
+    Implements :class:`repro.sim.EngineProtocol`; the conformance suite
+    (``tests/test_engine_protocol.py``) exercises both engines through the
+    protocol surface only.
+    """
 
     def __init__(self, time_scale: float = 1.0, poll_interval_s: float = 0.001,
                  max_wall_s: float = 300.0):

@@ -40,6 +40,23 @@ class SimTransport(Network):
         #: Messages round-tripped through the codec so far.
         self.wire_checked = 0
 
+    @property
+    def wire_check(self) -> bool:
+        return self._wire_check
+
+    @wire_check.setter
+    def wire_check(self, value: bool) -> None:
+        # The codec shadow hooks ``_deliver``, so batched deliveries must
+        # take the per-message path while it is on; with it off this class
+        # adds nothing per delivery and the network's inlined batch loop is
+        # safe (unless a further subclass customizes delivery itself).
+        self._wire_check = bool(value)
+        cls = type(self)
+        self._per_message_deliver = (
+            self._wire_check
+            or cls._deliver is not SimTransport._deliver
+            or cls._dispatch is not Network._dispatch)
+
     def _deliver(self, dst_address: int, msg: Message, size: int) -> None:
         if self.wire_check:
             # Replace the in-process object with its decoded wire copy —

@@ -152,15 +152,21 @@ def run_scale(spec: Optional[ScaleSpec] = None) -> Dict[str, Any]:
     load_rng = plane.streams.stream("scale-load")
     aggs = ("sum", "max", "min")[:max(1, min(3, spec.publish_aggregates))]
     publishes = 0
+    # Hoisted per-wave plan: the node set is fixed for the whole run, so
+    # the topic strings and scribe lookups are computed once, not once per
+    # wave.  Node order and the per-(node, agg) RNG call order are exactly
+    # the original loop's, keeping the load draws — and the signature —
+    # bit-identical.
+    publish_plan = [(node.scribe, node, site_tree(node.site.name, LOAD_TREE))
+                    for node in plane.nodes]
+    uniform = load_rng.uniform
 
     def publish_wave() -> None:
         nonlocal publishes
-        for node in plane.nodes:
-            topic = site_tree(node.site.name, LOAD_TREE)
+        for scribe, node, topic in publish_plan:
             for agg in aggs:
-                node.scribe.set_local(node, topic, agg,
-                                      load_rng.uniform(0.0, 100.0))
-                publishes += 1
+                scribe.set_local(node, topic, agg, uniform(0.0, 100.0))
+        publishes += len(publish_plan) * len(aggs)
         if sim.now + spec.publish_interval_ms <= window_end:
             sim.schedule(spec.publish_interval_ms, publish_wave)
 

@@ -1,4 +1,4 @@
-"""The frozen public API: import surface, facade round-trip, deprecations."""
+"""The frozen public API: import surface, facade round-trip, removals."""
 
 import dataclasses
 
@@ -6,7 +6,6 @@ import pytest
 
 import repro
 from repro import QueryOptions, QueryResult, RBay, RBayConfig
-from repro.query.executor import QueryContext
 from repro.query.sql import parse_query
 from repro.workloads.generator import FederationWorkload, WorkloadSpec
 
@@ -120,19 +119,16 @@ class TestOptionsAndResultTypes:
         assert result.node_ids() == []
 
 
-class TestDeprecationShims:
-    def test_direct_query_context_construction_warns(self, sim):
-        with pytest.warns(DeprecationWarning, match="facade"):
-            QueryContext(sim, ["A", "B"])
+class TestRetiredShims:
+    """The pre-1.0 deprecation shims are gone, not just discouraged."""
 
-    def test_internal_construction_does_not_warn(self, sim):
-        import warnings
+    def test_public_query_context_name_is_gone(self):
+        import repro.query.executor as executor
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            QueryContext(sim, ["A"], _internal=True)
+        assert not hasattr(executor, "QueryContext")
+        assert "QueryContext" not in repro.__all__
 
-    def test_legacy_execute_kwargs_warn_and_still_work(self, small_plane):
+    def test_legacy_execute_kwargs_are_rejected(self, small_plane):
         plane, workload = small_plane
         counts = workload.site_instance_population("Site000")
         itype = max(counts, key=counts.get)
@@ -140,9 +136,21 @@ class TestDeprecationShims:
         app = home.apps["query"]
         query = parse_query(
             f"SELECT 1 FROM Site000 WHERE instance_type = '{itype}';")
-        with pytest.warns(DeprecationWarning, match="QueryOptions"):
-            future = app.execute(home, query, caller="legacy",
-                                 timeout=5_000.0)
+        for kwargs in ({"caller": "legacy"}, {"timeout": 5_000.0},
+                       {"payload": {"x": 1}}):
+            with pytest.raises(TypeError):
+                app.execute(home, query, **kwargs)
+
+    def test_options_bundle_is_the_only_entry(self, small_plane):
+        plane, workload = small_plane
+        counts = workload.site_instance_population("Site000")
+        itype = max(counts, key=counts.get)
+        home = plane.site_nodes("Site000")[0]
+        app = home.apps["query"]
+        query = parse_query(
+            f"SELECT 1 FROM Site000 WHERE instance_type = '{itype}';")
+        future = app.execute(home, query, QueryOptions(
+            caller="options", deadline_ms=5_000.0))
         result = future.result()
         assert isinstance(result, QueryResult)
         for entry in result.entries:

@@ -9,7 +9,7 @@ a readable plan diff instead of a bare boolean.
 import pytest
 
 from repro.core.naming import site_tree
-from repro.query.executor import QueryContext
+from repro.query.executor import _QueryContext
 from repro.query.planner import (
     DEFAULT_SIZE_ESTIMATE,
     group_label,
@@ -26,7 +26,7 @@ SITE = "A"
 
 @pytest.fixture()
 def context():
-    ctx = QueryContext(Simulator(), [SITE], _internal=True)
+    ctx = _QueryContext(Simulator(), [SITE])
     ctx.bucket_index.register(BucketSpec("u", 0.0, 100.0, 4))
     return ctx
 

@@ -1,6 +1,8 @@
 """Tests for tracing, ASCII plotting, query plans, the CLI, and tools/."""
 
+import gc
 import importlib.util
+import subprocess
 import sys
 from pathlib import Path
 
@@ -65,6 +67,49 @@ class TestTracer:
 
     def test_null_tracer_is_silent(self):
         NULL_TRACER.emit("anything", "goes", x=1)  # no crash, no state
+
+    def test_import_does_not_pull_in_span_machinery(self):
+        """``repro.sim.trace`` must stay importable without the obs plane.
+
+        The span recorder is only needed once a real ``Tracer`` is built;
+        hot-path modules that merely import this module (directly or via
+        ``repro.sim``) must not pay the ``repro.obs`` import cost.  Checked
+        in a fresh interpreter so this test is immune to import order in
+        the suite.
+        """
+        code = (
+            "import sys\n"
+            "import repro.sim.trace\n"
+            "assert 'repro.obs.spans' not in sys.modules, 'eager import'\n"
+            "from repro.sim.trace import Tracer\n"
+            "from repro.sim.engine import Simulator\n"
+            "Tracer(Simulator())\n"
+            "assert 'repro.obs.spans' in sys.modules, 'lazy import broken'\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            cwd=str(Path(__file__).resolve().parent.parent),
+            env={"PYTHONPATH": "src", "PATH": ""},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_disabled_tracer_emit_allocates_nothing(self):
+        """The disabled flat-trace path must be free, like NULL_RECORDER's."""
+        tracer = NULL_TRACER
+
+        def emit():
+            if tracer.enabled:
+                tracer.emit("pastry.hop", "hop", src=1, dst=2)
+
+        emit()  # warm any lazy interpreter state
+        gc.collect()
+        before = sys.getallocatedblocks()
+        for _ in range(10_000):
+            emit()
+        gc.collect()
+        after = sys.getallocatedblocks()
+        assert after - before < 10
 
     def test_network_hook(self, sim, network, registry):
         from repro.net.message import Message

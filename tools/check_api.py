@@ -12,6 +12,11 @@ Also pins the stability contract itself: every public name must resolve
 and carry a docstring, ``QueryOptions``/``QueryResult`` must stay frozen
 dataclasses, and every ``RBayConfig`` field (the public configuration
 knobs, including the sanitizer's) must be listed in ``docs/api.md``.
+
+Finally, a deny-list keeps *retired* surfaces retired: names removed from
+the public API (``QueryContext``, the ``execute(payload=/caller=/
+timeout=)`` keyword shims) must not reappear in ``repro.__all__``, the
+lazy-export map, the query package exports, or the docs.
 """
 
 from __future__ import annotations
@@ -29,6 +34,19 @@ DOCS_SECTION = "## 12. Public API & stability"
 
 API_DOCS = REPO / "docs" / "api.md"
 CONFIG_SECTION = "### `RBayConfig`"
+
+#: Retired public names: must never reappear in the export surfaces.
+DENY_EXPORTS = ("QueryContext",)
+
+#: Retired spellings: must never reappear in the docs (the docs may of
+#: course *mention* QueryOptions fields like ``payload=``; these patterns
+#: target the removed entry points specifically).
+DENY_DOC_PATTERNS = (
+    r"`QueryContext`",
+    r"execute\(payload=",
+    r"execute\(caller=",
+    r"execute\(timeout=",
+)
 
 
 def _fail(errors):
@@ -117,6 +135,23 @@ def main() -> int:
         if missing:
             errors.append(
                 f"docs/api.md RBayConfig section is missing fields: {missing}")
+
+    # 7. Retired surfaces stay retired.
+    for name in DENY_EXPORTS:
+        for surface, names in (("repro.__all__", repro.__all__),
+                               ("repro._EXPORTS", repro._EXPORTS),
+                               ("repro.query.__all__", query_pkg.__all__)):
+            if name in names:
+                errors.append(f"retired name {name!r} reappeared in {surface}")
+        if hasattr(repro, name):
+            errors.append(f"retired name {name!r} resolves on repro again")
+    for doc_path in (DOCS, API_DOCS):
+        doc_text = doc_path.read_text(encoding="utf-8")
+        for pattern in DENY_DOC_PATTERNS:
+            if re.search(pattern, doc_text):
+                errors.append(
+                    f"retired surface {pattern!r} is documented again in "
+                    f"{doc_path.relative_to(REPO)}")
 
     if errors:
         return _fail(errors)

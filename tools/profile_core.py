@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Profile the event/dispatch hot path (run by ``make profile`` and CI).
+
+Thin CLI over :mod:`repro.workloads.profiling`: runs the deterministic
+scale workload under cProfile, prints the per-stage attribution table
+(drain loop, routing, message construction, dispatch, aggregation, ...),
+and — with ``--check-floor`` — fails (exit 1) when the measured
+events/sec regresses more than the allowed fraction below the
+``profile_floor`` checked into ``benchmarks/results/scale.json``.
+
+The floor is expressed as a fraction of the checked-in profiled
+throughput rather than an absolute number so the gate tracks the
+machine the baseline was recorded on; regenerate the floor with
+``--write-floor`` after an intentional perf change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCALE_JSON = REPO / "benchmarks" / "results" / "scale.json"
+
+#: Allowed regression vs the checked-in floor (the ISSUE's ">10%" gate).
+DEFAULT_TOLERANCE = 0.10
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sites", type=int, default=None,
+                        help="synthetic sites (default: the profile spec's 8)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="nodes per site (default: 16)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="measured window in simulated ms (default: 3000)")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument("--top", type=int, default=3,
+                        help="heaviest functions listed per stage")
+    parser.add_argument("--json-out", default=None, metavar="PATH",
+                        help="write the metrics + attribution dict to PATH")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if events/sec fell more than the tolerance "
+                             "below the floor in benchmarks/results/scale.json")
+    parser.add_argument("--write-floor", action="store_true",
+                        help="record this run's events/sec as the new floor")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression for --check-floor")
+    args = parser.parse_args(argv)
+
+    from dataclasses import replace
+
+    from repro.workloads.profiling import (PROFILE_SPEC, format_profile,
+                                           profile_scale)
+
+    spec = PROFILE_SPEC
+    overrides = {k: v for k, v in (
+        ("sites", args.sites), ("nodes_per_site", args.nodes),
+        ("duration_ms", args.duration), ("seed", args.seed),
+    ) if v is not None}
+    if overrides:
+        spec = replace(spec, **overrides)
+
+    metrics = profile_scale(spec)
+    print(format_profile(metrics, top=args.top))
+
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(metrics, indent=2,
+                                                  sort_keys=True) + "\n")
+        print(f"wrote profile JSON to {args.json_out}")
+
+    if args.write_floor:
+        if overrides:
+            print("profile_core: refusing to --write-floor for a non-default "
+                  "spec (the floor pins the canonical profile spec)")
+            return 1
+        doc = json.loads(SCALE_JSON.read_text()) if SCALE_JSON.exists() else {}
+        doc["profile_floor"] = {
+            "events_per_sec": round(metrics["events_per_sec"], 1),
+            "signature": metrics["signature"],
+            "spec": metrics["spec"],
+        }
+        SCALE_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"recorded profile floor {doc['profile_floor']['events_per_sec']:,.0f} "
+              f"events/sec in {SCALE_JSON}")
+
+    if args.check_floor:
+        if overrides:
+            print("profile_core: --check-floor requires the default spec")
+            return 1
+        floor = json.loads(SCALE_JSON.read_text()).get("profile_floor")
+        if floor is None:
+            print("profile_core: FAIL: no profile_floor in scale.json "
+                  "(run with --write-floor first)")
+            return 1
+        if metrics["signature"] != floor["signature"]:
+            print("profile_core: FAIL: run signature "
+                  f"{metrics['signature'][:16]}… does not match the floor's "
+                  f"{floor['signature'][:16]}… — the workload behaviour "
+                  "changed; refresh the floor deliberately with --write-floor")
+            return 1
+        minimum = floor["events_per_sec"] * (1.0 - args.tolerance)
+        if metrics["events_per_sec"] < minimum:
+            print(f"profile_core: FAIL: {metrics['events_per_sec']:,.0f} "
+                  f"events/sec is more than {args.tolerance:.0%} below the "
+                  f"checked-in floor of {floor['events_per_sec']:,.0f}")
+            return 1
+        print(f"profile floor ok: {metrics['events_per_sec']:,.0f} events/sec "
+              f">= {minimum:,.0f} (floor {floor['events_per_sec']:,.0f} "
+              f"- {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
