@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos sanitize coverage trace planner rebalance live profile examples outputs clean
+.PHONY: install test bench chaos sanitize coverage trace planner rebalance market live profile examples outputs clean
 
 # Hot-path profile gate: run the deterministic profiling harness on the
 # small canonical spec and fail if events/sec regressed more than 10%
@@ -92,6 +92,18 @@ rebalance:
 	RBAY_CHAOS_SEEDS=$${RBAY_CHAOS_SEEDS:-20} PYTHONPATH=src $(PYTHON) -m pytest \
 	  tests/test_chaos_properties.py -q -k rebalanc
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_rebalance_skew.py \
+	  --benchmark-only -s
+
+# Elastic marketplace (docs/architecture.md §18): DEPAS autoscaler +
+# spot-pricer + market-workload suites, the economy/selection regression
+# tests, the live-mode economy coverage, and the autoscale on/off demand-
+# spike ablation with the 20-seed determinism fingerprint
+# (benchmarks/results/market.json).
+market:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/test_market.py \
+	  tests/test_ext_economy.py tests/test_ext_churn.py \
+	  tests/test_economy_live.py
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/test_market.py \
 	  --benchmark-only -s
 
 # Real-transport subsystem (docs/architecture.md §16): codec + trace-ctx

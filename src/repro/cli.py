@@ -348,6 +348,67 @@ def cmd_scale(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_market(args) -> int:
+    """Elastic marketplace: open-loop arrivals, spot pricing, DEPAS scaling."""
+    import json
+
+    from repro.workloads.market import MarketSpec, run_market
+
+    spec = MarketSpec(
+        sites=args.synthetic_sites if args.synthetic_sites else 4,
+        nodes_per_site=args.nodes,
+        seed=args.seed,
+        users=args.users,
+        arrival_rate_per_s=args.arrival_rate,
+        spike_multiplier=args.spike,
+        duration_ms=args.duration,
+        autoscale=not args.no_autoscale,
+        reprice=not args.no_reprice,
+        sanitize=args.sanitize,
+        sanitize_sweep_events=args.sanitize_sweep,
+    )
+    metrics = run_market(spec)
+    print(f"market: {spec.sites} sites x {spec.nodes_per_site} nodes, "
+          f"{spec.users:,} users, autoscale "
+          f"{'on' if spec.autoscale else 'off'}, reprice "
+          f"{'on' if spec.reprice else 'off'}, seed {spec.seed}")
+    starve = metrics["starvation_age_ms"]
+    print(format_table(
+        ["arrivals", "filled", "satisfied", "jain", "revenue",
+         "scale out/in", "reprices", "starve p95 ms"],
+        [[metrics["arrivals"], metrics["arrivals_filled"],
+          f"{metrics['satisfied_demand']:.3f}",
+          f"{metrics['jain_fairness']:.3f}",
+          f"{metrics['revenue_total']:.1f}",
+          f"{metrics['scale_out_events']}/{metrics['scale_in_events']}",
+          metrics["reprice_events"],
+          f"{starve['p95']:.0f}"]]))
+    print(format_table(
+        ["site", "revenue", "price", "instances"],
+        [[name,
+          f"{metrics['revenue_per_site'][name]:.1f}",
+          f"{metrics['final_price_per_site'][name]:.2f}",
+          metrics["final_instances_per_site"][name]]
+         for name in sorted(metrics["revenue_per_site"])]))
+    print(f"admission: {metrics['admission']['admitted']} admitted, "
+          f"max queue {metrics['admission']['max_queued']}  "
+          f"signature: {metrics['signature'][:16]}…")
+    violations = 0
+    if "sanitizer" in metrics:
+        san = metrics["sanitizer"]
+        violations = len(san["violations"])
+        print(f"sanitizer: {violations} violation(s), {san['sweeps']} sweeps, "
+              f"{san['quiescent_checks']} quiescent checks")
+        for entry in san["violations"]:
+            print(f"  {entry['invariant']}: {entry['subject']}: "
+                  f"{entry['detail']}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics to {args.json_out}")
+    return 1 if violations else 0
+
+
 def cmd_profile(args) -> int:
     """Profile the hot path: per-stage wall-clock attribution.
 
@@ -583,6 +644,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-out", default=None, metavar="PATH",
                    help="write the full metrics dict to PATH")
     p.set_defaults(fn=cmd_scale)
+
+    p = sub.add_parser("market", parents=[common],
+                       help="elastic marketplace: spot pricing + DEPAS "
+                            "auto-scaling (use --no-autoscale for the "
+                            "fixed-capacity ablation)")
+    p.add_argument("--users", type=int, default=1_048_576,
+                   help="synthetic zipf user population")
+    p.add_argument("--arrival-rate", type=float, default=30.0,
+                   help="base open-loop arrival rate (arrivals/s)")
+    p.add_argument("--spike", type=float, default=4.0,
+                   help="arrival-rate multiplier inside the spike window")
+    p.add_argument("--duration", type=float, default=7_000.0,
+                   help="measured window of simulated time (ms)")
+    p.add_argument("--no-autoscale", action="store_true",
+                   help="freeze per-site capacity (the ablation arm)")
+    p.add_argument("--no-reprice", action="store_true",
+                   help="pin asking prices at the initial value")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the full metrics dict to PATH")
+    p.set_defaults(fn=cmd_market)
 
     p = sub.add_parser("profile", parents=[common],
                        help="profile the hot path and print per-stage "

@@ -181,6 +181,37 @@ class RBayConfig:
     #: the federation's sites across OS processes (``rbay serve``).
     #: ``None`` serves every host in-process.
     transport_peers: Optional[Any] = None
+    #: Elastic federation marketplace (docs/architecture.md §18) — read
+    #: by :mod:`repro.workloads.market`, which builds one DEPAS
+    #: autoscaler and one spot pricer per site from these knobs.  DEPAS
+    #: auto-scaling of per-site instance pools; False is the
+    #: autoscaling-off ablation arm (utilization is still published, but
+    #: capacity never moves).
+    market_autoscale: bool = True
+    #: Floor of posted instances per site (scale-in never goes below).
+    market_min_instances: int = 1
+    #: Cap of posted instances per site; 0 = every node in the pool.
+    market_max_instances: int = 0
+    #: Utilization at/above which a site's scaler considers scale-out.
+    market_scale_high: float = 0.75
+    #: Utilization at/below which idle postings become retire candidates.
+    market_scale_low: float = 0.25
+    #: Probability gain of the DEPAS rule (actuation chance scales with
+    #: how far utilization sits past a threshold, times this gain).
+    market_scale_gain: float = 1.0
+    #: Autoscaler evaluation period per site (ms).
+    market_scale_interval_ms: float = 500.0
+    #: Utilization-driven spot repricing via admin multicasts; False
+    #: freezes every site at its initial asking price.
+    market_reprice: bool = True
+    #: Repricing evaluation period per site (ms).
+    market_reprice_interval_ms: float = 1_000.0
+    #: Price clamp for the spot pricer (floor must stay > 0).
+    market_price_floor: float = 1.0
+    #: Upper price clamp for the spot pricer.
+    market_price_ceiling: float = 64.0
+    #: Multiplicative step per repricing decision (0.25 = ±25%).
+    market_price_gain: float = 0.25
 
 
 class RBay:

@@ -166,6 +166,42 @@ end
 """
 
 
+def market_gate_policy(node_id: int, price: float, min_credit: float) -> str:
+    """The marketplace gate: rental price composed with Kevin's credit check.
+
+    Callers must present both ``payload.budget >= Price`` and
+    ``payload.credit >= MinCredit`` — a buyer with money but a bad history
+    (or vice versa) is denied on the owner's side, where the policy runs.
+    Admins reprice (``payload.new_price``) or tighten the history bar
+    (``payload.new_min_credit``) interactively via onDeliver multicasts.
+    """
+    return f"""
+AA = {{NodeId = {node_id}, Price = {price}, MinCredit = {min_credit}}}
+
+function onGet(caller, payload)
+  local budget = payload.budget
+  local credit = payload.credit
+  if budget == nil or credit == nil then
+    return nil
+  end
+  if budget >= AA.Price and credit >= AA.MinCredit then
+    return AA.NodeId
+  end
+  return nil
+end
+
+function onDeliver(caller, payload)
+  if payload.new_price ~= nil then
+    AA.Price = payload.new_price
+  end
+  if payload.new_min_credit ~= nil then
+    AA.MinCredit = payload.new_min_credit
+  end
+  return AA.Price
+end
+"""
+
+
 def expiring_share_policy(node_id: int, expires_at_ms: float) -> str:
     """Share until a deadline; admins extend it with onDeliver commands.
 

@@ -1,0 +1,187 @@
+"""DEPAS-style decentralized probabilistic auto-scaling of site capacity.
+
+Calcavecchia et al.'s DEPAS (PAPERS.md) removes the central autoscaler:
+every participant runs the same *local* rule — compare your own observed
+load against thresholds and act **probabilistically**, so a fleet of
+uncoordinated peers converges on the right capacity without any of them
+ever seeing the global picture (and without every peer scaling at once
+on the same signal).
+
+Here each federation site runs one :class:`SiteAutoscaler` over its own
+pool of servers.  "Instances" are priced marketplace postings
+(:func:`repro.ext.economy.post_priced_resource`): scale-out posts a spare
+node into the market tree, scale-in withdraws an **idle** posting
+(``reservation.is_free()`` — a leased instance is never yanked from
+under its customer, which is what keeps the reservation-hygiene
+invariant clean through elasticity).  The scaler reads nothing but its
+own site's utilization, publishes its observations to the labeled
+metrics plane (``market.site.utilization`` / ``market.site.instances``),
+and draws its actuation coin-flips from a dedicated per-site RNG stream
+so same-seed runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.core.admin import SiteAdmin
+from repro.core.node import RBayNode
+from repro.ext.economy import post_priced_resource
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """The DEPAS rule's parameters (one config shared by every site).
+
+    With utilization ``u`` (busy instances / posted instances):
+
+    * ``u >= high``  → scale **out** with probability
+      ``gain * (u - high) / (1 - high)``;
+    * ``u <= low``   → scale **in** with probability
+      ``gain * (low - u) / low``;
+    * otherwise the site is in the dead band and nothing happens.
+
+    Probabilities are clamped to 1; instance counts are clamped to
+    ``[min_instances, max_instances]``.
+    """
+
+    high: float = 0.75
+    low: float = 0.25
+    gain: float = 1.0
+    min_instances: int = 1
+    #: 0 = the whole pool may be posted.
+    max_instances: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.low < self.high <= 1.0:
+            raise ValueError("need 0 <= low < high <= 1")
+        if self.gain <= 0.0:
+            raise ValueError("gain must be > 0")
+        if self.min_instances < 0:
+            raise ValueError("min_instances must be >= 0")
+
+
+class SiteAutoscaler:
+    """One site's DEPAS loop over its pool of marketplace instances.
+
+    ``pool`` is every node the site may post; the first ``initial``
+    postings happen via :meth:`start`.  ``price_of`` supplies the asking
+    price for *new* postings (wired to the site's
+    :class:`~repro.ext.economy.SpotPricer` so scale-out joins the market
+    at the current spot price).
+    """
+
+    def __init__(
+        self,
+        admin: SiteAdmin,
+        pool: List[RBayNode],
+        config: AutoscaleConfig,
+        rng: random.Random,
+        metrics: Any,
+        attribute: str,
+        value: Any,
+        price_of: Callable[[], float],
+        min_credit: Optional[float] = None,
+        enabled: bool = True,
+    ):
+        self.admin = admin
+        #: Deterministic pool order: sorted by address so two same-seed
+        #: runs post the same nodes in the same sequence.
+        self.pool = sorted(pool, key=lambda n: n.address)
+        self.config = config
+        self.rng = rng
+        self.metrics = metrics
+        self.attribute = attribute
+        self.value = value
+        self.price_of = price_of
+        self.min_credit = min_credit
+        #: With the DEPAS loop disabled (the ablation arm), :meth:`tick`
+        #: still publishes utilization — the pricer needs the signal —
+        #: but never adds or retires capacity.
+        self.enabled = enabled
+        self.active: List[RBayNode] = []
+        self.spare: List[RBayNode] = list(self.pool)
+        #: Lifetime scale-out / scale-in actuations (diagnostics).
+        self.scaled_out = 0
+        self.scaled_in = 0
+
+    # ------------------------------------------------------------------
+    def start(self, initial: int) -> None:
+        """Post the first ``initial`` instances (bounded by the pool).
+
+        Initial postings are provisioning, not elasticity: they do not
+        count toward ``scaled_out`` or the ``market.scale.out`` counter.
+        """
+        for _ in range(min(initial, len(self.spare))):
+            self._post_one(actuation=False)
+
+    def utilization(self) -> float:
+        """Busy fraction of posted instances (1.0 when nothing is posted).
+
+        An empty posting set reads as fully utilized on purpose: it is
+        the strongest possible scale-out signal.
+        """
+        if not self.active:
+            return 1.0
+        busy = sum(1 for node in self.active if not node.reservation.is_free())
+        return busy / len(self.active)
+
+    @property
+    def instances(self) -> int:
+        return len(self.active)
+
+    def _max_instances(self) -> int:
+        cap = self.config.max_instances
+        return len(self.pool) if cap <= 0 else min(cap, len(self.pool))
+
+    # ------------------------------------------------------------------
+    def tick(self) -> float:
+        """One DEPAS evaluation; returns the observed utilization."""
+        site = self.admin.site.name
+        util = self.utilization()
+        self.metrics.gauge("market.site.utilization").set(util, site=site)
+        self.metrics.gauge("market.site.instances").set(
+            float(len(self.active)), site=site)
+        if not self.enabled:
+            return util
+        cfg = self.config
+        if util >= cfg.high and self.spare and len(self.active) < self._max_instances():
+            pressure = ((util - cfg.high) / (1.0 - cfg.high)
+                        if cfg.high < 1.0 else 1.0)
+            if self.rng.random() < min(1.0, cfg.gain * max(pressure, 0.05)):
+                self._post_one()
+        elif util <= cfg.low and len(self.active) > cfg.min_instances:
+            slack = ((cfg.low - util) / cfg.low) if cfg.low > 0.0 else 1.0
+            if self.rng.random() < min(1.0, cfg.gain * max(slack, 0.05)):
+                self._retire_one()
+        return util
+
+    # ------------------------------------------------------------------
+    def _post_one(self, actuation: bool = True) -> None:
+        node = self.spare.pop(0)
+        post_priced_resource(self.admin, node, self.attribute, self.value,
+                             self.price_of(), min_credit=self.min_credit)
+        self.active.append(node)
+        if actuation:
+            self.scaled_out += 1
+            self.metrics.counter("market.scale.out").increment(
+                site=self.admin.site.name)
+
+    def _retire_one(self) -> None:
+        """Withdraw the most recently posted *idle* instance, if any.
+
+        Leased instances are skipped: the customer keeps its lease until
+        expiry, and the instance becomes retirable once free.
+        """
+        for node in reversed(self.active):
+            if node.reservation.is_free():
+                self.admin.hide_resource(node, self.attribute,
+                                         value=self.value)
+                self.active.remove(node)
+                self.spare.insert(0, node)
+                self.scaled_in += 1
+                self.metrics.counter("market.scale.in").increment(
+                    site=self.admin.site.name)
+                return

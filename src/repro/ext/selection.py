@@ -44,7 +44,14 @@ class QoSSelector:
         return w * stability + (1.0 - w) * preference
 
     def select(self, entries: List[Dict[str, Any]], k: Optional[int]):
-        """Split into (kept, surplus), keeping the k best-scored entries."""
+        """Split into (kept, surplus), keeping the k best-scored entries.
+
+        ``k`` must be ``None`` (keep everything) or non-negative: a
+        negative ``k`` would silently slice ``ordered[:k]`` — keeping
+        all-but-|k| and "releasing" the *best* candidates.
+        """
+        if k is not None and k < 0:
+            raise ValueError(f"k must be >= 0 (got {k})")
         ordered = sorted(entries, key=lambda e: (-self.score(e), e["address"]))
         cutoff = len(ordered) if k is None else k
         return ordered[:cutoff], ordered[cutoff:]
@@ -84,6 +91,10 @@ class StabilityAwareCustomer(Customer):
         wanted = query.k
         if wanted is not None:
             query.k = max(wanted, int(wanted * self.overask))
+            # The executor only commits reservations when the result is
+            # satisfied; the floor is what we actually need, not the
+            # inflated over-ask.
+            query.min_k = wanted
         future = self._query_app.execute(self.home, query, QueryOptions(
             payload=payload, caller=self.name, deadline_ms=timeout))
         done = Future(self.home.sim, timeout=timeout)

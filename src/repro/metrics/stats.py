@@ -65,9 +65,16 @@ def coefficient_of_variation(values: Sequence[float]) -> float:
 
 
 def jain_fairness(values: Sequence[float]) -> float:
-    """Jain's fairness index: 1.0 = perfectly even load distribution."""
+    """Jain's fairness index: 1.0 = perfectly even load distribution.
+
+    Defined for non-negative allocations only (negative shares make the
+    index meaningless — it can exceed 1); all-zero input is perfectly
+    fair by convention.
+    """
     if not values:
         raise ValueError("fairness of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("fairness of negative allocation")
     total = sum(values)
     squares = sum(v * v for v in values)
     if squares == 0:

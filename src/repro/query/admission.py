@@ -13,7 +13,7 @@ mutable protocol state.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.metrics.counters import CounterRegistry
 from repro.sim.engine import Simulator
@@ -31,11 +31,18 @@ class AdmissionController:
         self.window = window
         self.counters = counters
         self._in_flight = 0
-        self._queue: Deque[Tuple[Callable[[], Future], Future]] = deque()
+        self._queue: Deque[Tuple[Callable[[], Future], Future,
+                                 str, float]] = deque()
         #: Lifetime admissions (diagnostics / benchmark accounting).
         self.admitted = 0
         #: High-water mark of the wait queue.
         self.max_queued = 0
+        #: Per-label queue-wait accounting: ``label -> [count, total_ms,
+        #: max_ms]``.  Labels come from :meth:`submit` (the market
+        #: workload labels by origin site, so per-site starvation at the
+        #: admission valve is visible); unlabeled submissions pool under
+        #: ``""``.
+        self._waits: Dict[str, list] = {}
 
     @property
     def in_flight(self) -> int:
@@ -47,23 +54,41 @@ class AdmissionController:
         """Submissions waiting for a window slot."""
         return len(self._queue)
 
-    def submit(self, start: Callable[[], Future]) -> Future:
+    def submit(self, start: Callable[[], Future],
+               label: Optional[str] = None) -> Future:
         """Queue ``start`` for admission; resolves with the query's result.
 
         ``start`` is invoked (inside the event loop) only once a window
         slot is free; its Future's resolution value — result or typed
-        error — is forwarded verbatim to the returned Future.
+        error — is forwarded verbatim to the returned Future.  ``label``
+        tags the submission for the per-label wait accounting
+        (:meth:`wait_stats`).
         """
         done = Future(self.sim)
-        self._queue.append((start, done))
+        self._queue.append((start, done, label or "", self.sim.now))
         self.max_queued = max(self.max_queued, len(self._queue))
         self._pump()
         return done
 
+    def wait_stats(self) -> Dict[str, Dict[str, float]]:
+        """``label -> {count, mean_ms, max_ms}`` of admission-queue waits."""
+        return {
+            label: {
+                "count": float(count),
+                "mean_ms": total / count if count else 0.0,
+                "max_ms": peak,
+            }
+            for label, (count, total, peak) in sorted(self._waits.items())
+        }
+
     def _pump(self) -> None:
         """Admit queued submissions while window slots are free."""
         while self._in_flight < self.window and self._queue:
-            start, done = self._queue.popleft()
+            start, done, label, enqueued = self._queue.popleft()
+            wait = self._waits.setdefault(label, [0, 0.0, 0.0])
+            wait[0] += 1
+            wait[1] += self.sim.now - enqueued
+            wait[2] = max(wait[2], self.sim.now - enqueued)
             self._in_flight += 1
             self.admitted += 1
             if self.counters is not None:

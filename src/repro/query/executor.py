@@ -326,7 +326,13 @@ class QueryApplication(Application):
                 result.visited_members += site_result.get("visited", 0)
                 result.retries += site_result.get("retries", 0)
             selected, rejected = self._select(query, entries)
-            satisfied = query.k is None or len(selected) >= query.k
+            # Over-asking clients widen ``k`` (reservation width) but set
+            # ``min_k`` to the number they actually need: committing the
+            # selected set whenever the floor is met lets the client keep
+            # its picks and release the surplus, instead of the whole
+            # result collapsing because the inflated ``k`` fell short.
+            needed = query.k if query.min_k is None else query.min_k
+            satisfied = needed is None or len(selected) >= needed
             # A caller whose deadline already fired cannot take the nodes:
             # treat the result as declined and release every reservation.
             caller_gone = done.resolved

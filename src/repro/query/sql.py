@@ -74,6 +74,13 @@ class Query:
     group_by: Optional[str] = None
     order_by: Optional[str] = None
     descending: bool = False
+    #: Client-side satisfaction floor.  Over-asking customers inflate
+    #: ``k`` (how many candidates the executor reserves) but are content
+    #: once ``min_k`` grants exist; with the floor unset, ``k`` itself is
+    #: the satisfaction threshold (the classic semantics).  Never set by
+    #: the parser — only by shopping clients such as
+    #: :class:`repro.ext.economy.CostAwareCustomer`.
+    min_k: Optional[int] = None
 
     @property
     def predicates(self) -> List[Predicate]:

@@ -96,10 +96,58 @@ def run_reference_workload(
                 "failed_sites": sorted(result.failed_sites),
                 "entries": _canonical_entries(result.entries),
             })
+            # Give the leases back: the market scenario below needs the
+            # full population reservable.
+            for node in plane.nodes:
+                node.reservation.release(result.query_id)
 
         aggregates = {
             "population": {k: population[k] for k in sorted(population)},
             "top_type": top_type,
+        }
+
+        # Market scenario: priced + credit-gated postings, an over-asking
+        # cheapest-k purchase, an admin repricing multicast, and a second
+        # purchase over the repriced market — the economy layer's wire
+        # surface (AA gate payloads, priced GROUPBY replies, surplus
+        # release fan-out, admin commands) under the same oracle.
+        from repro.ext.economy import (CostAwareCustomer, MarketLedger,
+                                       post_priced_resource, reprice)
+
+        site_a, site_b = [s.name for s in plane.registry][:2]
+        price = 4.0
+        for site in (site_a, site_b):
+            admin = plane.admin(site)
+            for node in plane.site_nodes(site):
+                post_priced_resource(admin, node, "market_slot", True,
+                                     price, min_credit=0.25)
+                price += 2.0
+        plane.sim.run()
+        ledger = MarketLedger()
+        buyer = CostAwareCustomer(
+            "oracle-buyer", plane.site_nodes(site_b)[0],
+            plane.streams.stream("oracle-market"),
+            wallet=60.0, ledger=ledger, overask=2.0, credit=0.8)
+        buys = []
+        for step in range(2):
+            result = buyer.buy(
+                "SELECT 2 FROM * WHERE market_slot = true;").result()
+            buys.append({
+                "satisfied": result.satisfied,
+                "entries": _canonical_entries(result.entries),
+            })
+            if step == 0:
+                # Crash the price of the first site's slots; the second
+                # buy must shop the repriced market.
+                reprice(plane.admin(site_a), plane.site_nodes(site_a)[0],
+                        "market_slot", 1.0)
+                plane.sim.run()
+        market = {
+            "buys": buys,
+            "wallet": round(buyer.wallet, 6),
+            "revenue": {site: round(value, 6) for site, value
+                        in sorted(ledger.revenue_by_site().items())},
+            "volume": ledger.volume(),
         }
         sanitizer_findings: List[str] = []
         if plane.sanitizer is not None:
@@ -116,6 +164,7 @@ def run_reference_workload(
             },
             "queries": report_queries,
             "aggregates": aggregates,
+            "market": market,
             "sanitizer": sanitizer_findings,
         }
     finally:
@@ -155,6 +204,10 @@ def compare_reports(reference: Dict[str, Any],
         divergences.append(
             f"aggregates: sim={reference['aggregates']!r} "
             f"live={live['aggregates']!r}")
+    if reference.get("market") != live.get("market"):
+        divergences.append(
+            f"market: sim={reference.get('market')!r} "
+            f"live={live.get('market')!r}")
     for arm, rep in (("sim", reference), ("live", live)):
         if rep["sanitizer"]:
             divergences.append(

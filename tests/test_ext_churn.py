@@ -162,6 +162,21 @@ class TestQoSSelector:
         with pytest.raises(ValueError):
             QoSSelector(ChurnPredictor(ChurnTracker(sim)), stability_weight=2.0)
 
+    def test_negative_k_rejected(self, sim):
+        # Regression: ordered[:k] with k < 0 silently kept all-but-|k|
+        # entries instead of failing — a caller bug (e.g. a miscomputed
+        # over-ask) looked like a successful partial selection.
+        selector = self.make(sim, {1: 0.2, 2: 0.9, 3: 0.6})
+        entries = [{"address": a} for a in (1, 2, 3)]
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            selector.select(entries, -1)
+
+    def test_zero_k_keeps_nothing(self, sim):
+        selector = self.make(sim, {1: 0.2, 2: 0.9})
+        entries = [{"address": a} for a in (1, 2)]
+        kept, surplus = selector.select(entries, 0)
+        assert kept == [] and len(surplus) == 2
+
 
 class TestStabilityAwareCustomer:
     @pytest.fixture

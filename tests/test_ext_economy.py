@@ -7,6 +7,8 @@ from repro.ext.economy import (
     CostAwareCustomer,
     MarketLedger,
     PRICE_ATTRIBUTE,
+    cheapest_first,
+    choose_cheapest,
     post_priced_resource,
     reprice,
 )
@@ -100,6 +102,103 @@ class TestCostAwareBuying:
         assert not taken_a & taken_b
         # Second buyer pays more: the cheap nodes are leased out.
         assert ledger.spend_of("b") > ledger.spend_of("a")
+
+
+class TestCheapestTieBreaking:
+    def test_cheapest_first_breaks_price_ties_on_address(self):
+        # Regression: the pre-fix sort keyed on price alone, so
+        # equal-price candidates kept their site-reply arrival order —
+        # which shifts with latency jitter and fan-out interleaving.
+        entries = [{"address": a, "order_value": 5.0} for a in (9, 3, 7)]
+        assert [e["address"] for e in cheapest_first(entries)] == [3, 7, 9]
+
+    def test_choose_cheapest_is_permutation_invariant(self):
+        import itertools
+
+        entries = [
+            {"address": 4, "order_value": 5.0},
+            {"address": 2, "order_value": 5.0},
+            {"address": 8, "order_value": 3.0},
+            {"address": 6, "order_value": 5.0},
+        ]
+        expected = None
+        for perm in itertools.permutations(entries):
+            kept, surplus, total = choose_cheapest(list(perm), 2, 100.0)
+            picked = [e["address"] for e in kept]
+            if expected is None:
+                expected = picked
+            assert picked == expected == [8, 2]
+            assert total == pytest.approx(8.0)
+            assert sorted(e["address"] for e in surplus) == [4, 6]
+
+    def test_choose_cheapest_respects_wallet(self):
+        entries = [{"address": a, "order_value": p}
+                   for a, p in ((1, 10.0), (2, 20.0), (3, 30.0))]
+        kept, surplus, total = choose_cheapest(entries, None, 35.0)
+        assert [e["address"] for e in kept] == [1, 2]
+        assert total == pytest.approx(30.0)
+        assert [e["address"] for e in surplus] == [3]
+
+    def test_equal_price_market_buys_deterministically(self, market):
+        plane, nodes, prices = market
+        admin = plane.admin("Virginia")
+        # Flatten the market: every node reprices to 10, so price no
+        # longer discriminates and only the address tie-break orders it.
+        reprice(admin, nodes[0], "GPU", 10.0)
+        plane.sim.run()
+        expected = sorted(n.address for n in nodes)[:2]
+        buyer = make_buyer(plane, wallet=100.0, name="tie")
+        result = buyer.buy("SELECT 2 FROM Virginia WHERE GPU = true;").result()
+        assert result.satisfied
+        assert sorted(e["address"] for e in result.entries) == expected
+
+
+class TestOveraskSatisfactionFloor:
+    def test_thin_market_still_satisfies_wanted(self, market):
+        # Regression (phantom purchase): with over-ask, ``wanted=4`` at
+        # overask 3.0 inflates the reservation width to k=12 — more than
+        # the 6 nodes in the market.  Pre-fix the executor compared the
+        # match count against the *inflated* k, settled unsatisfied, and
+        # released every reservation — while the shopping callback still
+        # kept 4 entries, charged the wallet, and recorded revenue for
+        # leases that no longer existed.
+        plane, nodes, prices = market
+        ledger = MarketLedger()
+        buyer = make_buyer(plane, wallet=1000.0, ledger=ledger, name="bulk")
+        result = buyer.buy("SELECT 4 FROM Virginia WHERE GPU = true;").result()
+        assert result.satisfied and len(result.entries) == 4
+        assert buyer.wallet == pytest.approx(1000.0 - (10 + 20 + 30 + 40))
+        plane.sim.run()
+        # The purchased leases actually exist: 4 committed reservations
+        # held by this query, the 2 surplus nodes free again.
+        committed = [n for n in nodes if n.reservation.committed]
+        assert len(committed) == 4
+        assert all(n.reservation.holder() == result.query_id
+                   for n in committed)
+        assert sum(1 for n in nodes if n.reservation.is_free()) == 2
+
+    def test_wanted_more_than_market_still_fails(self, market):
+        plane, nodes, prices = market
+        buyer = make_buyer(plane, wallet=1000.0, name="greedy")
+        result = buyer.buy("SELECT 7 FROM Virginia WHERE GPU = true;").result()
+        assert not result.satisfied and result.entries == ()
+        plane.sim.run()
+        assert all(n.reservation.is_free() for n in nodes)
+
+
+class TestCreditGate:
+    def test_min_credit_denies_low_history_buyers(self, market):
+        plane, nodes, prices = market
+        admin = plane.admin("Virginia")
+        extra = plane.site_nodes("Virginia")[6]
+        post_priced_resource(admin, extra, "CPU", True, 10.0, min_credit=0.5)
+        plane.sim.run()
+        assert extra.authorize("a", {"budget": 50.0, "credit": 0.8}) is not None
+        assert extra.authorize("b", {"budget": 50.0, "credit": 0.2}) is None
+        # Credit omitted entirely -> denied (nil fails the gate).
+        assert extra.authorize("c", {"budget": 50.0}) is None
+        # Budget still enforced alongside credit.
+        assert extra.authorize("d", {"budget": 5.0, "credit": 0.9}) is None
 
 
 class TestRepricing:

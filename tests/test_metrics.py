@@ -39,6 +39,21 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([1], 150)
 
+    def test_percentile_boundary_q(self):
+        # q=0 and q=100 are valid (inclusive bounds) and hit the extremes
+        # exactly, with no interpolation drift.
+        values = [3.5, -1.0, 9.25, 4.0]
+        assert percentile(values, 0) == -1.0
+        assert percentile(values, 100) == 9.25
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 100) == 42.0
+        # Just outside the closed interval must raise, both sides.
+        for bad in (-0.0001, 100.0001, -5, 101):
+            with pytest.raises(ValueError):
+                percentile(values, bad)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
     def test_cdf_points(self):
         points = cdf_points([3, 1, 2])
         assert points == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
@@ -53,6 +68,14 @@ class TestStats:
         skewed = jain_fairness([100, 0, 0, 0])
         assert skewed == pytest.approx(0.25)
         assert jain_fairness([0, 0]) == 1.0
+
+    def test_jain_fairness_rejects_negative_allocations(self):
+        # Negative shares make the index meaningless (it can exceed 1:
+        # [1, -1] would give total=0 but squares=2).
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+        with pytest.raises(ValueError):
+            jain_fairness([-0.5])
 
     def test_format_table_aligns(self):
         text = format_table(["a", "bbb"], [[1, 2], [333, 4]])

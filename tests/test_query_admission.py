@@ -60,6 +60,35 @@ class TestAdmissionWindow:
         inner_b.resolve("ok")
         assert done_b.value == "ok"
 
+    def test_wait_stats_by_label(self, sim):
+        admission = AdmissionController(sim, window=1)
+        started = []
+        start_a, inner_a = make_thunk(sim, started, "a")
+        start_b, inner_b = make_thunk(sim, started, "b")
+        admission.submit(start_a, label="east")
+        admission.submit(start_b, label="west")
+
+        # "east" admitted instantly; "west" waits until the slot frees.
+        sim.schedule(250.0, lambda: inner_a.resolve("r0"))
+        sim.run()
+        inner_b.resolve("r1")
+
+        stats = admission.wait_stats()
+        assert stats["east"] == {"count": 1.0, "mean_ms": 0.0, "max_ms": 0.0}
+        assert stats["west"]["count"] == 1.0
+        assert stats["west"]["mean_ms"] == pytest.approx(250.0)
+        assert stats["west"]["max_ms"] == pytest.approx(250.0)
+
+    def test_wait_stats_pools_unlabeled_under_empty_string(self, sim):
+        admission = AdmissionController(sim, window=2)
+        started = []
+        for tag in range(2):
+            start, inner = make_thunk(sim, started, tag)
+            admission.submit(start)
+            inner.resolve(tag)
+        assert list(admission.wait_stats()) == [""]
+        assert admission.wait_stats()[""]["count"] == 2.0
+
     def test_admitted_counter_and_registry(self, sim):
         counters = CounterRegistry()
         admission = AdmissionController(sim, window=4, counters=counters)

@@ -51,6 +51,11 @@ DEFAULT_TARGETS = [
     REPO / "src" / "repro" / "transport" / "sim.py",
     REPO / "src" / "repro" / "transport" / "realtime.py",
     REPO / "src" / "repro" / "transport" / "asyncio_transport.py",
+    REPO / "src" / "repro" / "metrics" / "stats.py",
+    REPO / "src" / "repro" / "ext" / "selection.py",
+    REPO / "src" / "repro" / "ext" / "economy.py",
+    REPO / "src" / "repro" / "ext" / "autoscale.py",
+    REPO / "src" / "repro" / "workloads" / "market.py",
 ]
 
 #: Test files that exercise them.
@@ -80,6 +85,10 @@ DEFAULT_TESTS = [
     REPO / "tests" / "test_transport_asyncio.py",
     REPO / "tests" / "test_transport_wire_safety.py",
     REPO / "tests" / "test_transport_oracle.py",
+    REPO / "tests" / "test_ext_churn.py",
+    REPO / "tests" / "test_ext_economy.py",
+    REPO / "tests" / "test_economy_live.py",
+    REPO / "tests" / "test_market.py",
 ]
 
 
